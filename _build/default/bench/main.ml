@@ -1,0 +1,179 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (printed as text tables with the paper's own numbers alongside),
+   runs the ablations from DESIGN.md, and finishes with Bechamel
+   micro-benchmarks of the toolchain itself.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, default size
+     dune exec bench/main.exe -- table2 fig4  # selected experiments
+     dune exec bench/main.exe -- --quick      # reduced trial counts
+     dune exec bench/main.exe -- micro        # only the micro-benchmarks
+
+   All campaigns are deterministic for a fixed seed. *)
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let section title =
+  say "";
+  say "%s" (String.make 72 '=');
+  say "%s" title;
+  say "%s" (String.make 72 '=')
+
+(* ------------------------------------------------------------------ *)
+(* Experiments.                                                        *)
+
+let run_table2 ~trials loaded =
+  section "Table 2 — catastrophic failures with/without control protection";
+  let rows = Harness.Table2.run ~trials loaded in
+  say "%s" (Harness.Table2.render rows)
+
+let run_table3 loaded =
+  section "Table 3 — % of dynamic instructions tagged low-reliability";
+  let rows = Harness.Table3.run loaded in
+  say "%s" (Harness.Table3.render rows)
+
+let figures :
+    (string
+    * (?trials:int ->
+       ?seed:int ->
+       Harness.Experiment.loaded list ->
+       Harness.Figures.result))
+    list =
+  [
+    ("fig1", Harness.Figures.fig1);
+    ("fig2", Harness.Figures.fig2);
+    ("fig3", Harness.Figures.fig3);
+    ("fig4", Harness.Figures.fig4);
+    ("fig5", Harness.Figures.fig5);
+    ("fig6", Harness.Figures.fig6);
+  ]
+
+let run_figures ~trials ~which loaded =
+  List.iter
+    (fun (id, f) ->
+      if which id then begin
+        section (String.uppercase_ascii id);
+        say "%s" (Harness.Figures.render (f ?trials:(Some trials) ?seed:None loaded))
+      end)
+    figures
+
+let run_extensions ~trials loaded =
+  section "Cost model — selective vs uniform protection (paper Sec. 5.3)";
+  say "%s"
+    (Harness.Cost_model.render ~mode:Harness.Experiment.Literal
+       (Harness.Cost_model.run ~mode:Harness.Experiment.Literal loaded));
+  section "Fault outcome taxonomy (benign / degraded / catastrophic)";
+  say "%s"
+    (Harness.Taxonomy.render ~mode:Harness.Experiment.Literal
+       (Harness.Taxonomy.run ~trials ~mode:Harness.Experiment.Literal loaded))
+
+let run_ablations ~trials loaded =
+  section "Ablation A — address protection";
+  say "%s"
+    (Harness.Ablation.render_address (Harness.Ablation.address ~trials loaded));
+  section "Ablation B — programmer eligibility marking";
+  say "%s"
+    (Harness.Ablation.render_eligibility
+       (Harness.Ablation.eligibility ~trials ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the platform itself.                   *)
+
+let micro () =
+  section "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let susan = (Apps.Susan.app.Apps.App.build ~seed:1).Apps.App.prog in
+  let code = Sim.Code.of_prog susan in
+  let mcf = (Apps.Mcf.app.Apps.App.build ~seed:1).Apps.App.prog in
+  let mcf_code = Sim.Code.of_prog mcf in
+  let gcd_src =
+    let open Mlang.Dsl in
+    program []
+      [
+        fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+          [
+            let_ "a" (i 1071);
+            let_ "b" (i 462);
+            while_ (v "b" <>! i 0)
+              [ let_ "t" (v "b"); set "b" (v "a" %! v "b"); set "a" (v "t") ];
+            ret (v "a");
+          ];
+      ]
+  in
+  let tests =
+    [
+      Test.make ~name:"interp: susan (630k instrs)"
+        (Staged.stage (fun () -> ignore (Sim.Interp.run_exn code)));
+      Test.make ~name:"interp: mcf (100k instrs)"
+        (Staged.stage (fun () -> ignore (Sim.Interp.run_exn mcf_code)));
+      Test.make ~name:"tagging: susan (full)"
+        (Staged.stage (fun () ->
+             ignore (Core.Tagging.compute ~protect_addresses:true susan)));
+      Test.make ~name:"tagging: susan (literal)"
+        (Staged.stage (fun () ->
+             ignore (Core.Tagging.compute ~protect_addresses:false susan)));
+      Test.make ~name:"compile: mlang gcd"
+        (Staged.stage (fun () -> ignore (Mlang.Compile.to_ir gcd_src)));
+      Test.make ~name:"decode: susan"
+        (Staged.stage (fun () -> ignore (Sim.Code.of_prog susan)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 10) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let est = Analyze.one ols instance raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ t ] -> t
+            | Some _ | None -> nan
+          in
+          say "  %-32s %14.1f ns/run  (%.3f ms)" (Test.Elt.name elt) ns
+            (ns /. 1e6))
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let trials = if quick then 8 else 20 in
+  let t2_trials = if quick then 10 else 25 in
+  let want name =
+    args = [] || List.mem name args
+    || (String.length name > 3
+       && String.sub name 0 3 = "fig"
+       && List.mem "figures" args)
+  in
+  let needs_apps =
+    args = []
+    || List.exists
+         (fun a -> a <> "micro")
+         args
+  in
+  let t0 = Unix.gettimeofday () in
+  let loaded =
+    if needs_apps then begin
+      say "building applications and baselines...";
+      Harness.Experiment.load_all ()
+    end
+    else []
+  in
+  if want "table2" then run_table2 ~trials:t2_trials loaded;
+  if want "table3" then run_table3 loaded;
+  run_figures ~trials ~which:want loaded;
+  if want "ablation" then run_ablations ~trials loaded;
+  if want "extensions" then run_extensions ~trials loaded;
+  if want "micro" then micro ();
+  say "";
+  say "total wall time: %.1f s" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,325 @@
+(* etap — Error-Tolerance Analysis Platform command-line interface.
+
+   Subcommands:
+     list                      enumerate benchmark applications
+     run APP                   fault-free run + fidelity self-check
+     tag APP                   tagging analysis summary (both modes)
+     disasm APP [FUNC]         print the compiled IR
+     inject APP -e N [-t T]    fault-injection campaign
+     table2 | table3           reproduce the paper's tables
+     figure N                  reproduce one figure
+     ablation                  run the ablation studies *)
+
+open Cmdliner
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments.                                                   *)
+
+let app_arg =
+  let doc = "Benchmark application name (see `etap list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let seed_arg =
+  let doc = "Workload generation seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let trials_arg =
+  let doc = "Trials per campaign cell." in
+  Arg.(value & opt int 20 & info [ "t"; "trials" ] ~doc)
+
+let errors_arg =
+  let doc = "Number of single-bit errors to insert per run." in
+  Arg.(value & opt int 10 & info [ "e"; "errors" ] ~doc)
+
+let literal_arg =
+  let doc =
+    "Use the paper's literal Section-3 tagging rules (addresses \
+     unprotected) instead of control+address protection."
+  in
+  Arg.(value & flag & info [ "literal" ] ~doc)
+
+let find_app name =
+  match Apps.Registry.find name with
+  | Some app -> Ok app
+  | None ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown application %S (known: %s)" name
+           (String.concat ", " Apps.Registry.names)))
+
+(* ------------------------------------------------------------------ *)
+(* Commands.                                                           *)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun (a : Apps.App.t) ->
+        say "%-10s [%s]" a.Apps.App.name a.Apps.App.source;
+        say "    %s" a.Apps.App.description)
+      Apps.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmark applications")
+    Term.(const action $ const ())
+
+let run_cmd =
+  let action name seed =
+    Result.map
+      (fun (app : Apps.App.t) ->
+        let b = app.Apps.App.build ~seed in
+        let code = Sim.Code.of_prog b.Apps.App.prog in
+        let r = Sim.Interp.run_exn code in
+        say "%s: %d dynamic instructions, fault-free" name
+          r.Sim.Interp.dyn_count;
+        (match b.Apps.App.host_check r with
+         | Ok () -> say "host reference check: OK"
+         | Error m -> say "host reference check: FAILED (%s)" m);
+        say "fidelity vs self: %.1f %s"
+          (b.Apps.App.score ~golden:r r)
+          b.Apps.App.fidelity_units)
+      (find_app name)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Fault-free run with host-reference check")
+    Term.(term_result (const action $ app_arg $ seed_arg))
+
+let tag_cmd =
+  let action name seed =
+    Result.map
+      (fun (app : Apps.App.t) ->
+        let b = app.Apps.App.build ~seed in
+        let code = Sim.Code.of_prog b.Apps.App.prog in
+        let baseline = Sim.Interp.run_exn ~count_exec:true code in
+        say "%-28s %10s %10s" "" "ctrl+addr" "literal";
+        let line label f = say "%-28s %10s %10s" label (f true) (f false) in
+        let tagging pa = Core.Tagging.compute ~protect_addresses:pa b.Apps.App.prog in
+        let t_full = tagging true and t_lit = tagging false in
+        let t_of pa = if pa then t_full else t_lit in
+        line "static tagged / producing" (fun pa ->
+            let `Tagged tg, `Producing pr, `Total _ =
+              Core.Tagging.static_stats (t_of pa)
+            in
+            Printf.sprintf "%d/%d" tg pr);
+        line "dynamic low-reliability %" (fun pa ->
+            Printf.sprintf "%.1f%%"
+              (100.0
+              *. Core.Tagging.dynamic_low_fraction (t_of pa)
+                   baseline.Sim.Interp.exec_counts));
+        say "dynamic instructions: %d" baseline.Sim.Interp.dyn_count;
+        List.iter
+          (fun (f : Ir.Func.t) ->
+            match Core.Tagging.low_reliability t_full f.Ir.Func.name with
+            | None -> ()
+            | Some low ->
+              let n = Array.fold_left (fun a b -> if b then a + 1 else a) 0 low in
+              say "  %-20s %4d/%4d static instrs tagged (ctrl+addr)%s"
+                f.Ir.Func.name n (Array.length low)
+                (if f.Ir.Func.eligible then "" else "  [ineligible]"))
+          (Ir.Prog.funcs b.Apps.App.prog))
+      (find_app name)
+  in
+  Cmd.v (Cmd.info "tag" ~doc:"Show the control-protection tagging analysis")
+    Term.(term_result (const action $ app_arg $ seed_arg))
+
+let disasm_cmd =
+  let func_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FUNC")
+  in
+  let action name func seed =
+    Result.map
+      (fun (app : Apps.App.t) ->
+        let b = app.Apps.App.build ~seed in
+        match func with
+        | None -> say "%s" (Format.asprintf "%a" Ir.Prog.pp b.Apps.App.prog)
+        | Some f ->
+          (match Ir.Prog.find_func b.Apps.App.prog f with
+           | Some fn -> say "%s" (Format.asprintf "%a" Ir.Func.pp fn)
+           | None -> say "no function %s" f))
+      (find_app name)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Print compiled IR")
+    Term.(term_result (const action $ app_arg $ func_arg $ seed_arg))
+
+let inject_cmd =
+  let action name seed errors trials literal =
+    Result.map
+      (fun (app : Apps.App.t) ->
+        let b = app.Apps.App.build ~seed in
+        let target =
+          Core.Campaign.of_prog ~protect_addresses:(not literal)
+            b.Apps.App.prog
+        in
+        let golden = target.Core.Campaign.baseline in
+        List.iter
+          (fun policy ->
+            let p = Core.Campaign.prepare target policy in
+            let s = Core.Campaign.run p ~errors ~trials ~seed:(seed + 100) in
+            let fids =
+              Core.Campaign.fidelities s ~score:(fun r ->
+                  b.Apps.App.score ~golden r)
+            in
+            say
+              "%-18s errors=%-4d trials=%-3d catastrophic=%5.1f%% (%d crash, \
+               %d infinite)  mean fidelity=%s"
+              (Core.Policy.to_string policy)
+              errors s.Core.Campaign.n
+              (Core.Campaign.pct_catastrophic s)
+              s.Core.Campaign.crashes s.Core.Campaign.infinite
+              (let m = Core.Campaign.mean fids in
+               if Float.is_nan m then "n/a"
+               else Printf.sprintf "%.1f %s" m b.Apps.App.fidelity_units))
+          [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ])
+      (find_app name)
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Run a fault-injection campaign on one app")
+    Term.(
+      term_result
+        (const action $ app_arg $ seed_arg $ errors_arg $ trials_arg
+       $ literal_arg))
+
+let asm_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Assembly source file (the syntax `etap disasm` prints).")
+  in
+  let action file =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Ir.Asm.parse_program_res source with
+    | Error m -> Error (`Msg m)
+    | Ok prog ->
+      (match Ir.Validate.check prog with
+       | [] ->
+         let r = Sim.Interp.run_exn (Sim.Code.of_prog prog) in
+         say "ran %d dynamic instructions" r.Sim.Interp.dyn_count;
+         (match r.Sim.Interp.outcome with
+          | Sim.Interp.Done (Some v) ->
+            say "main returned %s" (Sim.Value.to_string v)
+          | Sim.Interp.Done None -> say "main returned (void)"
+          | _ -> ());
+         Ok ()
+       | errs ->
+         Error
+           (`Msg
+             (String.concat "\n"
+                (List.map (Format.asprintf "%a" Ir.Validate.pp_error) errs))))
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble, validate and run a textual IR file")
+    Term.(term_result (const action $ file_arg))
+
+let compile_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Mlang source file (C-like surface syntax).")
+  in
+  let inject_arg =
+    Arg.(value & opt (some int) None & info [ "inject" ]
+           ~doc:"After compiling, run a fault campaign with this many errors.")
+  in
+  let show_arg =
+    Arg.(value & flag & info [ "ir" ] ~doc:"Print the compiled IR.")
+  in
+  let action file inject show trials =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Mlang.Parser.parse_program_res source with
+    | Error m -> Error (`Msg m)
+    | Ok ast ->
+      (match Mlang.Compile.to_ir ast with
+       | exception Mlang.Ast.Type_error m -> Error (`Msg m)
+       | prog ->
+         if show then say "%s" (Format.asprintf "%a" Ir.Prog.pp prog);
+         let code = Sim.Code.of_prog prog in
+         let r = Sim.Interp.run_exn code in
+         say "ran %d dynamic instructions%s" r.Sim.Interp.dyn_count
+           (match r.Sim.Interp.outcome with
+            | Sim.Interp.Done (Some v) ->
+              Printf.sprintf ", main returned %s" (Sim.Value.to_string v)
+            | _ -> "");
+         (match inject with
+          | None -> ()
+          | Some errors ->
+            let target = Core.Campaign.of_prog prog in
+            List.iter
+              (fun policy ->
+                let p = Core.Campaign.prepare target policy in
+                let s = Core.Campaign.run p ~errors ~trials ~seed:1 in
+                say "%-18s %d errors x %d: %4.1f%% catastrophic (pool %d)"
+                  (Core.Policy.to_string policy)
+                  errors s.Core.Campaign.n
+                  (Core.Campaign.pct_catastrophic s)
+                  p.Core.Campaign.injectable_total)
+              [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ]);
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile an Mlang source file; optionally print IR and campaign")
+    Term.(term_result (const action $ file_arg $ inject_arg $ show_arg $ trials_arg))
+
+let table2_cmd =
+  let action trials =
+    let loaded = Harness.Experiment.load_all () in
+    say "%s" (Harness.Table2.render (Harness.Table2.run ~trials loaded))
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce paper Table 2")
+    Term.(const action $ trials_arg)
+
+let table3_cmd =
+  let action () =
+    let loaded = Harness.Experiment.load_all () in
+    say "%s" (Harness.Table3.render (Harness.Table3.run loaded))
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Reproduce paper Table 3")
+    Term.(const action $ const ())
+
+let figure_cmd =
+  let n_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"1-6")
+  in
+  let action n trials =
+    if n < 1 || n > 6 then Error (`Msg "figure number must be 1-6")
+    else begin
+      let loaded = Harness.Experiment.load_all () in
+      let f =
+        List.nth
+          [
+            Harness.Figures.fig1; Harness.Figures.fig2; Harness.Figures.fig3;
+            Harness.Figures.fig4; Harness.Figures.fig5; Harness.Figures.fig6;
+          ]
+          (n - 1)
+      in
+      say "%s" (Harness.Figures.render (f ~trials loaded));
+      Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "figure" ~doc:"Reproduce one paper figure")
+    Term.(term_result (const action $ n_arg $ trials_arg))
+
+let ablation_cmd =
+  let action trials =
+    let loaded = Harness.Experiment.load_all () in
+    say "%s"
+      (Harness.Ablation.render_address (Harness.Ablation.address ~trials loaded));
+    say "%s"
+      (Harness.Ablation.render_eligibility
+         (Harness.Ablation.eligibility ~trials ()))
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Run the ablation studies")
+    Term.(const action $ trials_arg)
+
+let () =
+  let info =
+    Cmd.info "etap" ~version:"1.0.0"
+      ~doc:
+        "Error-Tolerance Analysis Platform: control-data protection for \
+         error-tolerant applications (IISWC 2006 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; tag_cmd; disasm_cmd; asm_cmd; compile_cmd;
+            inject_cmd; table2_cmd;
+            table3_cmd; figure_cmd; ablation_cmd;
+          ]))

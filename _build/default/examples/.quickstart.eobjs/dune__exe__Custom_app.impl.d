@@ -1,0 +1,1 @@
+examples/custom_app.ml: Array Core Int32 List Mlang Printf Sim

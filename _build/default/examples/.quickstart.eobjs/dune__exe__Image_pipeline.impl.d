@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Apps Array Core Fidelity List Printf Sim

@@ -1,0 +1,1 @@
+examples/protection_tradeoff.ml: Apps Core List Printf Sim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Fidelity Int32 List Mlang Printf Sim

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Array Ir List Map Option Set String

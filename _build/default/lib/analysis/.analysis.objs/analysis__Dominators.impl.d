@@ -1,0 +1,1 @@
+lib/analysis/dominators.ml: Array Ir List

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Dataflow Ir List

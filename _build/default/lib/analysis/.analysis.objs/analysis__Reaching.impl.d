@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Dataflow Hashtbl Ir List Option

@@ -1,0 +1,50 @@
+(* Static call graph of a program. All calls in the IR are direct, so
+   the graph is exact. Used by the interprocedural tagging fixpoint. *)
+
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+type t = {
+  prog : Ir.Prog.t;
+  callees : SS.t SM.t;
+  callers : SS.t SM.t;
+}
+
+let compute (prog : Ir.Prog.t) =
+  let add key v m =
+    let prev = Option.value ~default:SS.empty (SM.find_opt key m) in
+    SM.add key (SS.add v prev) m
+  in
+  let callees, callers =
+    List.fold_left
+      (fun (ces, crs) (f : Ir.Func.t) ->
+        Array.fold_left
+          (fun (ces, crs) instr ->
+            match instr with
+            | Ir.Instr.Call { func; _ } ->
+              (add f.Ir.Func.name func ces, add func f.Ir.Func.name crs)
+            | _ -> (ces, crs))
+          (ces, crs) f.Ir.Func.body)
+      (SM.empty, SM.empty) (Ir.Prog.funcs prog)
+  in
+  { prog; callees; callers }
+
+let callees t f = Option.value ~default:SS.empty (SM.find_opt f t.callees)
+let callers t f = Option.value ~default:SS.empty (SM.find_opt f t.callers)
+
+(* Functions reachable from the entry point, including the entry. *)
+let reachable t =
+  let rec go seen f =
+    if SS.mem f seen then seen
+    else SS.fold (fun g acc -> go acc g) (callees t f) (SS.add f seen)
+  in
+  go SS.empty t.prog.Ir.Prog.entry
+
+(* True if [f] (transitively) may call itself. *)
+let is_recursive t f =
+  let rec go seen g =
+    SS.exists
+      (fun h -> h = f || ((not (SS.mem h seen)) && go (SS.add h seen) h))
+      (callees t g)
+  in
+  go SS.empty f

@@ -1,0 +1,152 @@
+(* Generic iterative dataflow over [Ir.Cfg].
+
+   Both directions use a worklist fixpoint with join over the relevant
+   CFG edges. Transfer functions are given per instruction, so clients
+   never re-implement block walking. Termination requires the usual
+   conditions: [join] monotone w.r.t. [equal]-quotiented domain with
+   finite ascending chains (all our domains are finite powersets). *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Backward (D : DOMAIN) = struct
+  type result = {
+    live_out : D.t array;  (* state at block end, before last instr *)
+    live_in : D.t array;   (* state at block start *)
+  }
+
+  (* [exit_state] seeds blocks with no successors (function exits). *)
+  let solve (cfg : Ir.Cfg.t) ~exit_state
+      ~(transfer : int -> Ir.Instr.t -> D.t -> D.t) : result =
+    let n = Ir.Cfg.n_blocks cfg in
+    let live_in = Array.make n D.bottom in
+    let live_out = Array.make n D.bottom in
+    let transfer_block b out =
+      let state = ref out in
+      Ir.Cfg.rev_iter_instrs cfg (Ir.Cfg.block cfg b) (fun i instr ->
+          state := transfer i instr !state);
+      !state
+    in
+    let in_work = Array.make n true in
+    let work = Queue.create () in
+    (* Seed in reverse order: backward analyses converge faster walking
+       from exits toward the entry. *)
+    for b = n - 1 downto 0 do
+      Queue.add b work
+    done;
+    while not (Queue.is_empty work) do
+      let b = Queue.pop work in
+      in_work.(b) <- false;
+      let blk = Ir.Cfg.block cfg b in
+      let out =
+        match blk.Ir.Cfg.succs with
+        | [] -> exit_state
+        | succs ->
+          List.fold_left (fun acc s -> D.join acc live_in.(s)) D.bottom succs
+      in
+      live_out.(b) <- out;
+      let inn = transfer_block b out in
+      if not (D.equal inn live_in.(b)) then begin
+        live_in.(b) <- inn;
+        List.iter
+          (fun p ->
+            if not in_work.(p) then begin
+              in_work.(p) <- true;
+              Queue.add p work
+            end)
+          blk.Ir.Cfg.preds
+      end
+    done;
+    { live_out; live_in }
+
+  (* Replay the fixpoint inside each block to obtain the state *after*
+     (in program order) each instruction, i.e. the backward-flow input
+     to that instruction. [f i instr state_after] is called for every
+     instruction. *)
+  let iter_instrs (cfg : Ir.Cfg.t) (r : result)
+      ~(transfer : int -> Ir.Instr.t -> D.t -> D.t) f =
+    Array.iter
+      (fun blk ->
+        let state = ref r.live_out.(blk.Ir.Cfg.id) in
+        Ir.Cfg.rev_iter_instrs cfg blk (fun i instr ->
+            f i instr !state;
+            state := transfer i instr !state))
+      cfg.Ir.Cfg.blocks
+end
+
+module Forward (D : DOMAIN) = struct
+  type result = {
+    in_state : D.t array;
+    out_state : D.t array;
+  }
+
+  let solve (cfg : Ir.Cfg.t) ~entry_state
+      ~(transfer : int -> Ir.Instr.t -> D.t -> D.t) : result =
+    let n = Ir.Cfg.n_blocks cfg in
+    let in_state = Array.make n D.bottom in
+    let out_state = Array.make n D.bottom in
+    let transfer_block b inn =
+      let state = ref inn in
+      Ir.Cfg.iter_instrs cfg (Ir.Cfg.block cfg b) (fun i instr ->
+          state := transfer i instr !state);
+      !state
+    in
+    let order = Ir.Cfg.reverse_postorder cfg in
+    let in_work = Array.make n true in
+    let work = Queue.create () in
+    List.iter (fun b -> Queue.add b work) order;
+    while not (Queue.is_empty work) do
+      let b = Queue.pop work in
+      in_work.(b) <- false;
+      let blk = Ir.Cfg.block cfg b in
+      let inn =
+        if b = 0 then
+          List.fold_left
+            (fun acc p -> D.join acc out_state.(p))
+            entry_state blk.Ir.Cfg.preds
+        else
+          match blk.Ir.Cfg.preds with
+          | [] -> D.bottom  (* unreachable block *)
+          | preds ->
+            List.fold_left (fun acc p -> D.join acc out_state.(p)) D.bottom preds
+      in
+      in_state.(b) <- inn;
+      let out = transfer_block b inn in
+      if not (D.equal out out_state.(b)) then begin
+        out_state.(b) <- out;
+        List.iter
+          (fun s ->
+            if not in_work.(s) then begin
+              in_work.(s) <- true;
+              Queue.add s work
+            end)
+          blk.Ir.Cfg.succs
+      end
+    done;
+    { in_state; out_state }
+end
+
+(* Shared powerset domains. *)
+
+module Reg_set_domain = struct
+  type t = Ir.Reg.Set.t
+
+  let bottom = Ir.Reg.Set.empty
+  let equal = Ir.Reg.Set.equal
+  let join = Ir.Reg.Set.union
+end
+
+module Int_set_domain = struct
+  module S = Set.Make (Int)
+
+  type t = S.t
+
+  let bottom = S.empty
+  let equal = S.equal
+  let join = S.union
+end

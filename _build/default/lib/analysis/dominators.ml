@@ -1,0 +1,70 @@
+(* Dominator tree by the classic Cooper–Harvey–Kennedy iterative
+   algorithm over reverse postorder. Exposed for loop detection and as
+   a structural invariant target for property tests. *)
+
+type t = {
+  cfg : Ir.Cfg.t;
+  idom : int array;  (* immediate dominator of each block; idom.(0) = 0 *)
+  rpo_index : int array;
+}
+
+let compute (cfg : Ir.Cfg.t) =
+  let n = Ir.Cfg.n_blocks cfg in
+  let order = Ir.Cfg.reverse_postorder cfg in
+  let rpo_index = Array.make n max_int in
+  List.iteri (fun i b -> rpo_index.(b) <- i) order;
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_index.(!b) > rpo_index.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> 0 then begin
+          let preds =
+            List.filter (fun p -> idom.(p) >= 0) (Ir.Cfg.block cfg b).Ir.Cfg.preds
+          in
+          match preds with
+          | [] -> ()  (* unreachable *)
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      order
+  done;
+  { cfg; idom; rpo_index }
+
+let idom t b = if t.idom.(b) < 0 then None else Some t.idom.(b)
+
+let dominates t a b =
+  (* Walk idom chain from [b] up to the entry. *)
+  let rec up x = if x = a then true else if x = 0 then a = 0 else up t.idom.(x) in
+  if t.idom.(b) < 0 then false else up b
+
+(* Back edges (src, dst) where dst dominates src: natural-loop headers. *)
+let back_edges t =
+  let edges = ref [] in
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun s ->
+          if t.idom.(blk.Ir.Cfg.id) >= 0 && dominates t s blk.Ir.Cfg.id then
+            edges := (blk.Ir.Cfg.id, s) :: !edges)
+        blk.Ir.Cfg.succs)
+    t.cfg.Ir.Cfg.blocks;
+  !edges

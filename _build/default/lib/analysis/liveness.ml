@@ -1,0 +1,36 @@
+(* Classic backward liveness: a register is live if some path reads it
+   before any redefinition. Used by the compiler's dead-code
+   elimination and by tests as an oracle for the tagging analysis. *)
+
+module B = Dataflow.Backward (Dataflow.Reg_set_domain)
+
+type t = {
+  cfg : Ir.Cfg.t;
+  result : B.result;
+}
+
+let transfer _i instr live =
+  let after_def =
+    match Ir.Instr.def instr with
+    | Some d -> Ir.Reg.Set.remove d live
+    | None -> live
+  in
+  List.fold_left
+    (fun acc r -> Ir.Reg.Set.add r acc)
+    after_def (Ir.Instr.uses instr)
+
+let compute (cfg : Ir.Cfg.t) =
+  let result = B.solve cfg ~exit_state:Ir.Reg.Set.empty ~transfer in
+  { cfg; result }
+
+let live_in t b = t.result.B.live_in.(b)
+let live_out t b = t.result.B.live_out.(b)
+
+(* Per-instruction live-after sets (the set live just after instruction
+   [i] executes), as an array indexed by body position. *)
+let live_after t =
+  let n = Array.length t.cfg.Ir.Cfg.func.Ir.Func.body in
+  let out = Array.make n Ir.Reg.Set.empty in
+  B.iter_instrs t.cfg t.result ~transfer (fun i _instr after ->
+      out.(i) <- after);
+  out

@@ -1,0 +1,64 @@
+(* Reaching definitions: for each program point, which definition sites
+   may supply the current value of each register. Definition sites are
+   body indices; parameter k of the function is the pseudo-site [-1-k].
+   The paper frames its CVar computation as the dual of this textbook
+   analysis; we keep it for def-use chain construction and tests. *)
+
+module IS = Dataflow.Int_set_domain.S
+module F = Dataflow.Forward (Dataflow.Int_set_domain)
+
+type t = {
+  cfg : Ir.Cfg.t;
+  sites_of_reg : (Ir.Reg.t, IS.t) Hashtbl.t;  (* incl. parameter pseudo-sites *)
+  result : F.result;
+}
+
+let param_site k = -1 - k
+
+let sites_of_reg_tbl (f : Ir.Func.t) =
+  let tbl = Hashtbl.create 32 in
+  let add r i =
+    let prev = Option.value ~default:IS.empty (Hashtbl.find_opt tbl r) in
+    Hashtbl.replace tbl r (IS.add i prev)
+  in
+  List.iteri (fun k p -> add p (param_site k)) f.Ir.Func.params;
+  Array.iteri
+    (fun i instr ->
+      match Ir.Instr.def instr with Some d -> add d i | None -> ())
+    f.Ir.Func.body;
+  tbl
+
+let sites t r =
+  Option.value ~default:IS.empty (Hashtbl.find_opt t.sites_of_reg r)
+
+let transfer sites_of_reg i instr state =
+  match Ir.Instr.def instr with
+  | None -> state
+  | Some d ->
+    let all =
+      Option.value ~default:IS.empty (Hashtbl.find_opt sites_of_reg d)
+    in
+    IS.add i (IS.diff state all)
+
+let compute (cfg : Ir.Cfg.t) =
+  let sites_of_reg = sites_of_reg_tbl cfg.Ir.Cfg.func in
+  let entry_state =
+    List.mapi (fun k _ -> param_site k) cfg.Ir.Cfg.func.Ir.Func.params
+    |> List.fold_left (fun acc i -> IS.add i acc) IS.empty
+  in
+  let result = F.solve cfg ~entry_state ~transfer:(transfer sites_of_reg) in
+  { cfg; sites_of_reg; result }
+
+let reach_in t b = t.result.F.in_state.(b)
+let reach_out t b = t.result.F.out_state.(b)
+
+(* Definition sites of [reg] that may reach the instruction at body
+   index [use_index] (i.e. the state just before it executes),
+   restricted to sites defining [reg]. *)
+let reaching_defs_of_use t ~use_index ~reg =
+  let b = Ir.Cfg.block_of_index t.cfg use_index in
+  let blk = Ir.Cfg.block t.cfg b in
+  let state = ref (reach_in t b) in
+  Ir.Cfg.iter_instrs t.cfg blk (fun i instr ->
+      if i < use_index then state := transfer t.sites_of_reg i instr !state);
+  IS.inter !state (sites t reg)

@@ -1,0 +1,1 @@
+lib/apps/adpcm.ml: App Array Fidelity Mlang Sim Workloads

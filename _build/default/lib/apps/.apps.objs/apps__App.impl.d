@@ -1,0 +1,1 @@
+lib/apps/app.ml: Array Int32 Ir Sim

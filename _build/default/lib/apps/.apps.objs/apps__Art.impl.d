@@ -1,0 +1,1 @@
+lib/apps/art.ml: App Array Fidelity Mlang Sim Workloads

@@ -1,0 +1,1 @@
+lib/apps/blowfish.ml: App Array Fidelity Int32 Mlang Pi_digits Sim Workloads

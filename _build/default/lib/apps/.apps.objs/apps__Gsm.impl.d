@@ -1,0 +1,1 @@
+lib/apps/gsm.ml: App Array Fidelity Float Mlang Sim Workloads

@@ -1,0 +1,1 @@
+lib/apps/mcf.ml: App Array Fidelity Float Mlang Queue Sim Workloads

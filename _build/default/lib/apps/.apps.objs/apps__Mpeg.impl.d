@@ -1,0 +1,1 @@
+lib/apps/mpeg.ml: App Array Fidelity Float List Mlang Sim Workloads

@@ -1,0 +1,1 @@
+lib/apps/pi_digits.ml: Array Float Hashtbl

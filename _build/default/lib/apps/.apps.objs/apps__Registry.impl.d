@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Adpcm App Art Blowfish Gsm List Mcf Mpeg Susan

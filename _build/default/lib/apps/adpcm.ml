@@ -1,0 +1,218 @@
+(* ADPCM (MiBench): Jack Jansen's IMA ADPCM coder — 16-bit linear PCM
+   to 4-bit codes and back. Fidelity is the percent of decoded samples
+   identical to the fault-free decode (paper Table 1 uses "% similarity
+   of the output PCM data"). *)
+
+let n_samples = 1600
+
+let step_table =
+  [|
+    7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37; 41;
+    45; 50; 55; 60; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173; 190;
+    209; 230; 253; 279; 307; 337; 371; 408; 449; 494; 544; 598; 658; 724;
+    796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066; 2272;
+    2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894; 6484; 7132;
+    7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289; 16818; 18500;
+    20350; 22385; 24623; 27086; 29794; 32767;
+  |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+(* ------------------------------------------------------------------ *)
+(* Host reference implementation.                                      *)
+
+let host_encode (pcm : int array) : int array =
+  let valpred = ref 0 and index = ref 0 in
+  Array.map
+    (fun sample ->
+      let step = ref step_table.(!index) in
+      let diff = ref (sample - !valpred) in
+      let sign = if !diff < 0 then 8 else 0 in
+      if sign <> 0 then diff := - !diff;
+      let delta = ref 0 in
+      let vpdiff = ref (!step lsr 3) in
+      if !diff >= !step then begin
+        delta := 4;
+        diff := !diff - !step;
+        vpdiff := !vpdiff + !step
+      end;
+      step := !step lsr 1;
+      if !diff >= !step then begin
+        delta := !delta lor 2;
+        diff := !diff - !step;
+        vpdiff := !vpdiff + !step
+      end;
+      step := !step lsr 1;
+      if !diff >= !step then begin
+        delta := !delta lor 1;
+        vpdiff := !vpdiff + !step
+      end;
+      if sign <> 0 then valpred := !valpred - !vpdiff
+      else valpred := !valpred + !vpdiff;
+      valpred := App.clamp (-32768) 32767 !valpred;
+      let delta = !delta lor sign in
+      index := App.clamp 0 88 (!index + index_table.(delta));
+      delta)
+    pcm
+
+let host_decode (codes : int array) : int array =
+  let valpred = ref 0 and index = ref 0 in
+  Array.map
+    (fun delta ->
+      let step = step_table.(!index) in
+      index := App.clamp 0 88 (!index + index_table.(delta land 15));
+      let sign = delta land 8 and mag = delta land 7 in
+      let vpdiff = ref (step lsr 3) in
+      if mag land 4 <> 0 then vpdiff := !vpdiff + step;
+      if mag land 2 <> 0 then vpdiff := !vpdiff + (step lsr 1);
+      if mag land 1 <> 0 then vpdiff := !vpdiff + (step lsr 2);
+      if sign <> 0 then valpred := !valpred - !vpdiff
+      else valpred := !valpred + !vpdiff;
+      valpred := App.clamp (-32768) 32767 !valpred;
+      !valpred)
+    codes
+
+(* ------------------------------------------------------------------ *)
+(* The Mlang program.                                                  *)
+
+let mlang_program (pcm : int array) : Mlang.Ast.program =
+  let open Mlang.Dsl in
+  let n = Array.length pcm in
+  program
+    [
+      garray_init "step_tab" (App.ints_of_array step_table);
+      garray_init "idx_tab" (App.ints_of_array index_table);
+      garray_init "pcm_in" (App.ints_of_array pcm);
+      garray_b "codes" n;
+      garray "pcm_out" n;
+    ]
+    [
+      fn "clamp16" [ p_int "x" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          when_ (v "x" >! i 32767) [ ret (i 32767) ];
+          when_ (v "x" <! i (-32768)) [ ret (i (-32768)) ];
+          ret (v "x");
+        ];
+      fn "clamp_idx" [ p_int "x" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          when_ (v "x" <! i 0) [ ret (i 0) ];
+          when_ (v "x" >! i 88) [ ret (i 88) ];
+          ret (v "x");
+        ];
+      proc "encode" []
+        [
+          let_ "valpred" (i 0);
+          let_ "index" (i 0);
+          for_ "t" (i 0) (i n)
+            [
+              let_ "step" ("step_tab".%(v "index"));
+              let_ "diff" ("pcm_in".%(v "t") -! v "valpred");
+              let_ "sign" (i 0);
+              when_
+                (v "diff" <! i 0)
+                [ set "sign" (i 8); set "diff" (neg (v "diff")) ];
+              let_ "delta" (i 0);
+              let_ "vpdiff" (v "step" >>! i 3);
+              when_
+                (v "diff" >=! v "step")
+                [
+                  set "delta" (i 4);
+                  set "diff" (v "diff" -! v "step");
+                  set "vpdiff" (v "vpdiff" +! v "step");
+                ];
+              set "step" (v "step" >>! i 1);
+              when_
+                (v "diff" >=! v "step")
+                [
+                  set "delta" (v "delta" |! i 2);
+                  set "diff" (v "diff" -! v "step");
+                  set "vpdiff" (v "vpdiff" +! v "step");
+                ];
+              set "step" (v "step" >>! i 1);
+              when_
+                (v "diff" >=! v "step")
+                [
+                  set "delta" (v "delta" |! i 1);
+                  set "vpdiff" (v "vpdiff" +! v "step");
+                ];
+              if_
+                (v "sign" <>! i 0)
+                [ set "valpred" (v "valpred" -! v "vpdiff") ]
+                [ set "valpred" (v "valpred" +! v "vpdiff") ];
+              set "valpred" (call "clamp16" [ v "valpred" ]);
+              set "delta" (v "delta" |! v "sign");
+              set "index"
+                (call "clamp_idx" [ v "index" +! "idx_tab".%(v "delta") ]);
+              sto "codes" (v "t") (v "delta");
+            ];
+        ];
+      proc "decode" []
+        [
+          let_ "valpred" (i 0);
+          let_ "index" (i 0);
+          for_ "t" (i 0) (i n)
+            [
+              let_ "step" ("step_tab".%(v "index"));
+              let_ "delta" ("codes".%(v "t") &! i 15);
+              set "index"
+                (call "clamp_idx" [ v "index" +! "idx_tab".%(v "delta") ]);
+              let_ "sign" (v "delta" &! i 8);
+              let_ "mag" (v "delta" &! i 7);
+              let_ "vpdiff" (v "step" >>! i 3);
+              when_
+                ((v "mag" &! i 4) <>! i 0)
+                [ set "vpdiff" (v "vpdiff" +! v "step") ];
+              when_
+                ((v "mag" &! i 2) <>! i 0)
+                [ set "vpdiff" (v "vpdiff" +! (v "step" >>! i 1)) ];
+              when_
+                ((v "mag" &! i 1) <>! i 0)
+                [ set "vpdiff" (v "vpdiff" +! (v "step" >>! i 2)) ];
+              if_
+                (v "sign" <>! i 0)
+                [ set "valpred" (v "valpred" -! v "vpdiff") ]
+                [ set "valpred" (v "valpred" +! v "vpdiff") ];
+              set "valpred" (call "clamp16" [ v "valpred" ]);
+              sto "pcm_out" (v "t") (v "valpred");
+            ];
+        ];
+      fn ~eligible:false "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [ call_ "encode" []; call_ "decode" []; ret (i 0) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let build ~seed : App.built =
+  let pcm = Workloads.Audio_gen.speech ~seed ~samples:n_samples in
+  let prog = Mlang.Compile.to_ir (mlang_program pcm) in
+  let expected = host_decode (host_encode pcm) in
+  let score ~(golden : Sim.Interp.result) (r : Sim.Interp.result) =
+    Fidelity.Byte_match.pct_equal
+      (App.out_ints golden prog "pcm_out")
+      (App.out_ints r prog "pcm_out")
+  in
+  let host_check (r : Sim.Interp.result) =
+    let got = App.out_ints r prog "pcm_out" in
+    if got = expected then Ok ()
+    else Error "adpcm: compiled decode differs from host reference"
+  in
+  {
+    App.app_name = "adpcm";
+    prog;
+    fidelity_name = "% samples correct";
+    fidelity_units = "%";
+    higher_is_better = true;
+    threshold = Some 90.0;
+    score;
+    host_check;
+  }
+
+let app : App.t =
+  {
+    App.name = "adpcm";
+    description =
+      "IMA ADPCM speech encode/decode (4:1 compression), fidelity = % of \
+       decoded samples matching the fault-free decode";
+    source = "MiBench";
+    build;
+  }

@@ -1,0 +1,48 @@
+(* Common shape of a benchmark application.
+
+   [build ~seed] generates a deterministic workload, bakes it into the
+   program's initialized globals, and returns the compiled program
+   together with its fidelity scorer. Scores always compare an injected
+   run against the fault-free golden run of the *same* built instance,
+   exactly as the paper compares corrupted output against correct
+   output. *)
+
+type built = {
+  app_name : string;
+  prog : Ir.Prog.t;
+  fidelity_name : string;      (* e.g. "PSNR", "% bytes correct" *)
+  fidelity_units : string;     (* "dB", "%", ... *)
+  higher_is_better : bool;
+  threshold : float option;    (* paper's subjective acceptability bound *)
+  (* Fidelity of an injected run against the golden run. Both arguments
+     must be Completed results of the same built program. *)
+  score : golden:Sim.Interp.result -> Sim.Interp.result -> float;
+  (* Does the golden (fault-free) run agree with the pure-OCaml host
+     reference implementation? Used as an integration oracle. *)
+  host_check : Sim.Interp.result -> (unit, string) result;
+}
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (* which suite the paper took it from *)
+  build : seed:int -> built;
+}
+
+let meets (b : built) value =
+  match b.threshold with
+  | None -> true
+  | Some thr -> if b.higher_is_better then value >= thr else value <= thr
+
+(* Shared helpers for app implementations. *)
+
+let clamp lo hi v = max lo (min hi v)
+
+let ints_of_array (a : int array) = Array.map Int32.of_int a
+
+(* Extract an int global from a finished run. *)
+let out_ints (r : Sim.Interp.result) prog name =
+  Sim.Memory.read_global_ints r.Sim.Interp.memory prog name
+
+let out_flts (r : Sim.Interp.result) prog name =
+  Sim.Memory.read_global_flts r.Sim.Interp.memory prog name

@@ -1,0 +1,357 @@
+(* ART (SPEC CPU2000 floating point): an Adaptive Resonance Theory
+   network trained on binary object templates, then scanned across a
+   thermal image window by window to find a learned object — the
+   structure of SPEC's 179.art at reduced scale, in real floating
+   point.
+
+   Fidelity (paper Figure 6 / Table 1): a run is "recognized" when it
+   reports the same winning window and category as the fault-free run;
+   the error in the confidence of the match is the secondary measure.
+   ART never crashes in the paper — its data path is all FP arithmetic
+   with in-range indexing — and the same holds here. *)
+
+let img_w = 16
+let img_h = 16
+let win = 8
+let n_windows = 9          (* 3x3 grid of 8x8 windows, stride 4 *)
+let n_categories = 8
+let n_patterns = 4
+let epochs = 3
+let vigilance = 0.7
+let choice_alpha = 0.5
+
+(* 8x8 binary object templates: cross, box outline, diagonal band, T. *)
+let patterns : float array array =
+  let mk f =
+    Array.init 64 (fun k ->
+        let y = k / 8 and x = k mod 8 in
+        if f x y then 1.0 else 0.0)
+  in
+  [|
+    mk (fun x y -> x = 3 || x = 4 || y = 3 || y = 4);
+    mk (fun x y -> x = 0 || x = 7 || y = 0 || y = 7);
+    mk (fun x y -> abs (x - y) <= 1);
+    mk (fun x y -> y <= 1 || ((x = 3 || x = 4) && y >= 2));
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Host reference implementation.                                      *)
+
+type net = { td : float array }  (* top-down templates, n_categories*64 *)
+
+let make_net () = { td = Array.make (n_categories * 64) 1.0 }
+
+let sum_min net cat (x : float array) =
+  let acc = ref 0.0 in
+  for k = 0 to 63 do
+    let w = net.td.((cat * 64) + k) in
+    acc := !acc +. (if w < x.(k) then w else x.(k))
+  done;
+  !acc
+
+let sum_td net cat =
+  let acc = ref 0.0 in
+  for k = 0 to 63 do
+    acc := !acc +. net.td.((cat * 64) + k)
+  done;
+  !acc
+
+let sum_x (x : float array) =
+  let acc = ref 0.0 in
+  Array.iter (fun v -> acc := !acc +. v) x;
+  !acc
+
+let choice net cat x = sum_min net cat x /. (choice_alpha +. sum_td net cat)
+
+let match_ratio net cat x =
+  let n = sum_x x in
+  if n = 0.0 then 0.0 else sum_min net cat x /. n
+
+let learn net cat (x : float array) =
+  for k = 0 to 63 do
+    let w = net.td.((cat * 64) + k) in
+    if x.(k) < w then net.td.((cat * 64) + k) <- x.(k)
+  done
+
+let train net =
+  for _e = 1 to epochs do
+    Array.iter
+      (fun x ->
+        let tried = Array.make n_categories false in
+        let resolved = ref false in
+        while not !resolved do
+          let best = ref (-1) and bestv = ref (-1.0) in
+          for c = 0 to n_categories - 1 do
+            if not tried.(c) then begin
+              let t = choice net c x in
+              if t > !bestv then begin
+                bestv := t;
+                best := c
+              end
+            end
+          done;
+          if !best < 0 then resolved := true
+          else if match_ratio net !best x >= vigilance then begin
+            learn net !best x;
+            resolved := true
+          end
+          else tried.(!best) <- true
+        done)
+      patterns
+  done
+
+let binarize_window (thermal : int array) ~wy ~wx =
+  Array.init 64 (fun k ->
+      let y = k / 8 and x = k mod 8 in
+      if thermal.(((wy + y) * img_w) + wx + x) > 100 then 1.0 else 0.0)
+
+let host_scan (thermal : int array) =
+  let net = make_net () in
+  train net;
+  let confs = Array.make n_windows 0.0 in
+  let cats = Array.make n_windows 0 in
+  for w = 0 to n_windows - 1 do
+    let wy = w / 3 * 4 and wx = w mod 3 * 4 in
+    let x = binarize_window thermal ~wy ~wx in
+    let best = ref 0 and bestv = ref (-1.0) in
+    for c = 0 to n_categories - 1 do
+      let t = choice net c x in
+      if t > !bestv then begin
+        bestv := t;
+        best := c
+      end
+    done;
+    cats.(w) <- !best;
+    confs.(w) <- match_ratio net !best x
+  done;
+  let bw = ref 0 in
+  for w = 1 to n_windows - 1 do
+    if confs.(w) > confs.(!bw) then bw := w
+  done;
+  (net, cats, confs, !bw)
+
+(* ------------------------------------------------------------------ *)
+(* The Mlang program.                                                  *)
+
+let mlang_program (thermal : int array) : Mlang.Ast.program =
+  let open Mlang.Dsl in
+  let pats = Array.concat (Array.to_list patterns) in
+  program
+    [
+      garray_init_b "thermal" (App.ints_of_array thermal);
+      garray_init_f "patterns" pats;
+      garray_init_f "td" (Array.make (n_categories * 64) 1.0);
+      garray_f "xbuf" 64;
+      garray "tried" n_categories;
+      garray_f "winconf" n_windows;
+      garray "wincat" n_windows;
+      garray "result" 2;   (* best window, best category *)
+      garray_f "confout" 1;
+    ]
+    [
+      fn "sum_min" [ p_int "cat" ] ~ret:(Some Mlang.Ast.TFlt)
+        [
+          let_ "acc" (f 0.0);
+          for_ "k" (i 0) (i 64)
+            [
+              let_ "w" ("td".%((v "cat" *! i 64) +! v "k"));
+              let_ "x" ("xbuf".%(v "k"));
+              if_ (v "w" <! v "x")
+                [ set "acc" (v "acc" +!. v "w") ]
+                [ set "acc" (v "acc" +!. v "x") ];
+            ];
+          ret (v "acc");
+        ];
+      fn "sum_td" [ p_int "cat" ] ~ret:(Some Mlang.Ast.TFlt)
+        [
+          let_ "acc" (f 0.0);
+          for_ "k" (i 0) (i 64)
+            [ set "acc" (v "acc" +!. "td".%((v "cat" *! i 64) +! v "k")) ];
+          ret (v "acc");
+        ];
+      fn "sum_x" [] ~ret:(Some Mlang.Ast.TFlt)
+        [
+          let_ "acc" (f 0.0);
+          for_ "k" (i 0) (i 64) [ set "acc" (v "acc" +!. "xbuf".%(v "k")) ];
+          ret (v "acc");
+        ];
+      fn "choice" [ p_int "cat" ] ~ret:(Some Mlang.Ast.TFlt)
+        [
+          ret
+            (call "sum_min" [ v "cat" ]
+            /!. (f choice_alpha +!. call "sum_td" [ v "cat" ]));
+        ];
+      fn "match_ratio" [ p_int "cat" ] ~ret:(Some Mlang.Ast.TFlt)
+        [
+          let_ "n" (call "sum_x" []);
+          when_ (v "n" ==! f 0.0) [ ret (f 0.0) ];
+          ret (call "sum_min" [ v "cat" ] /!. v "n");
+        ];
+      proc "learn" [ p_int "cat" ]
+        [
+          for_ "k" (i 0) (i 64)
+            [
+              let_ "w" ("td".%((v "cat" *! i 64) +! v "k"));
+              let_ "x" ("xbuf".%(v "k"));
+              when_ (v "x" <! v "w")
+                [ sto "td" ((v "cat" *! i 64) +! v "k") (v "x") ];
+            ];
+        ];
+      proc "load_pattern" [ p_int "p" ]
+        [
+          for_ "k" (i 0) (i 64)
+            [ sto "xbuf" (v "k") ("patterns".%((v "p" *! i 64) +! v "k")) ];
+        ];
+      proc "load_window" [ p_int "wy"; p_int "wx" ]
+        [
+          for_ "k" (i 0) (i 64)
+            [
+              let_ "y" (v "k" /! i 8);
+              let_ "x" (v "k" %! i 8);
+              let_ "pix"
+                ("thermal".%(((v "wy" +! v "y") *! i img_w) +! v "wx" +! v "x"));
+              if_ (v "pix" >! i 100)
+                [ sto "xbuf" (v "k") (f 1.0) ]
+                [ sto "xbuf" (v "k") (f 0.0) ];
+            ];
+        ];
+      proc "train" []
+        [
+          for_ "e" (i 0) (i epochs)
+            [
+              for_ "p" (i 0) (i n_patterns)
+                [
+                  call_ "load_pattern" [ v "p" ];
+                  for_ "c" (i 0) (i n_categories) [ sto "tried" (v "c") (i 0) ];
+                  let_ "resolved" (i 0);
+                  while_
+                    (v "resolved" ==! i 0)
+                    [
+                      let_ "best" (i (-1));
+                      let_ "bestv" (f (-1.0));
+                      for_ "c" (i 0) (i n_categories)
+                        [
+                          when_
+                            ("tried".%(v "c") ==! i 0)
+                            [
+                              let_ "t" (call "choice" [ v "c" ]);
+                              when_
+                                (v "t" >! v "bestv")
+                                [ set "bestv" (v "t"); set "best" (v "c") ];
+                            ];
+                        ];
+                      if_ (v "best" <! i 0)
+                        [ set "resolved" (i 1) ]
+                        [
+                          if_
+                            (call "match_ratio" [ v "best" ] >=! f vigilance)
+                            [ call_ "learn" [ v "best" ]; set "resolved" (i 1) ]
+                            [ sto "tried" (v "best") (i 1) ];
+                        ];
+                    ];
+                ];
+            ];
+        ];
+      proc "scan" []
+        [
+          for_ "w" (i 0) (i n_windows)
+            [
+              let_ "wy" (v "w" /! i 3 *! i 4);
+              let_ "wx" (v "w" %! i 3 *! i 4);
+              call_ "load_window" [ v "wy"; v "wx" ];
+              let_ "best" (i 0);
+              let_ "bestv" (f (-1.0));
+              for_ "c" (i 0) (i n_categories)
+                [
+                  let_ "t" (call "choice" [ v "c" ]);
+                  when_
+                    (v "t" >! v "bestv")
+                    [ set "bestv" (v "t"); set "best" (v "c") ];
+                ];
+              sto "wincat" (v "w") (v "best");
+              sto "winconf" (v "w") (call "match_ratio" [ v "best" ]);
+            ];
+          let_ "bw" (i 0);
+          for_ "w" (i 1) (i n_windows)
+            [
+              when_
+                ("winconf".%(v "w") >! "winconf".%(v "bw"))
+                [ set "bw" (v "w") ];
+            ];
+          sto "result" (i 0) (v "bw");
+          sto "result" (i 1) ("wincat".%(v "bw"));
+          sto "confout" (i 0) ("winconf".%(v "bw"));
+        ];
+      fn ~eligible:false "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [ call_ "train" []; call_ "scan" []; ret (i 0) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let scan_of_run prog (r : Sim.Interp.result) : Fidelity.Confidence.scan =
+  let result = App.out_ints r prog "result" in
+  let conf = App.out_flts r prog "confout" in
+  {
+    Fidelity.Confidence.best_window = result.(0);
+    best_category = result.(1);
+    confidence = conf.(0);
+  }
+
+let build ~seed : App.built =
+  let rng = Workloads.Rng.make (seed + 7919) in
+  let p_true = Workloads.Rng.int rng n_patterns in
+  let wslot = Workloads.Rng.int rng n_windows in
+  let ox = wslot mod 3 * 4 and oy = wslot / 3 * 4 in
+  let obj =
+    {
+      Workloads.Image_gen.width = 8;
+      height = 8;
+      pixels = Array.map (fun x -> if x > 0.5 then 200 else 30) patterns.(p_true);
+    }
+  in
+  let thermal =
+    Workloads.Image_gen.thermal ~seed ~width:img_w ~height:img_h ~obj ~ox ~oy
+  in
+  let prog =
+    Mlang.Compile.to_ir (mlang_program thermal.Workloads.Image_gen.pixels)
+  in
+  let _net, expected_cats, expected_confs, expected_bw =
+    host_scan thermal.Workloads.Image_gen.pixels
+  in
+  let score ~(golden : Sim.Interp.result) (r : Sim.Interp.result) =
+    let g = scan_of_run prog golden and o = scan_of_run prog r in
+    if Fidelity.Confidence.recognized ~golden:g ~observed:o then 100.0 else 0.0
+  in
+  let host_check (r : Sim.Interp.result) =
+    let got = scan_of_run prog r in
+    let cats = App.out_ints r prog "wincat" in
+    let confs = App.out_flts r prog "winconf" in
+    if got.Fidelity.Confidence.best_window <> expected_bw then
+      Error "art: winning window differs from host reference"
+    else if cats <> expected_cats then
+      Error "art: per-window categories differ from host reference"
+    else if confs <> expected_confs then
+      Error "art: per-window confidences differ from host reference"
+    else Ok ()
+  in
+  {
+    App.app_name = "art";
+    prog;
+    fidelity_name = "recognized";
+    fidelity_units = "% (100 = same window+category)";
+    higher_is_better = true;
+    threshold = Some 100.0;
+    score;
+    host_check;
+  }
+
+let app : App.t =
+  {
+    App.name = "art";
+    description =
+      "Adaptive-Resonance-Theory image recognition: train on object \
+       templates, scan a thermal image; fidelity = recognized the same \
+       window and category as the fault-free run";
+    source = "SPEC CPU2000 FP (179.art)";
+    build;
+  }

@@ -1,0 +1,272 @@
+(* Blowfish (MiBench): Schneier's 16-round Feistel cipher with
+   key-dependent S-boxes, run as the paper runs it — key schedule, ECB
+   encrypt of an ASCII text, decrypt, and "% bytes correct from
+   original" as the fidelity measure.
+
+   A pleasing property the paper observed ("at 10 errors, the output is
+   identical"): a fault during the key schedule corrupts the P/S tables
+   *consistently* for both directions, so decrypt(encrypt(x)) is still
+   the identity; only faults in the per-block data path (or wild
+   stores) damage bytes. *)
+
+let text_bytes = 512
+let key = [| 0x4B657931; 0x32333435 |]  (* "Key12345" as two words *)
+
+let mask32 v = v land 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Host reference implementation (unsigned 32-bit convention).         *)
+
+type host_state = { p : int array; s : int array }
+
+let host_init () =
+  let pi = Pi_digits.words 1042 in
+  { p = Array.sub pi 0 18; s = Array.sub pi 18 1024 }
+
+let f_fun st x =
+  let a = (x lsr 24) land 255
+  and b = (x lsr 16) land 255
+  and c = (x lsr 8) land 255
+  and d = x land 255 in
+  mask32 (mask32 (mask32 (st.s.(a) + st.s.(256 + b)) lxor st.s.(512 + c)) + st.s.(768 + d))
+
+let encrypt_block st (xl, xr) =
+  let xl = ref xl and xr = ref xr in
+  for i = 0 to 15 do
+    xl := !xl lxor st.p.(i);
+    xr := !xr lxor f_fun st !xl;
+    let t = !xl in
+    xl := !xr;
+    xr := t
+  done;
+  let t = !xl in
+  xl := !xr;
+  xr := t;
+  xr := !xr lxor st.p.(16);
+  xl := !xl lxor st.p.(17);
+  (!xl, !xr)
+
+let decrypt_block st (xl, xr) =
+  let xl = ref xl and xr = ref xr in
+  for i = 17 downto 2 do
+    xl := !xl lxor st.p.(i);
+    xr := !xr lxor f_fun st !xl;
+    let t = !xl in
+    xl := !xr;
+    xr := t
+  done;
+  let t = !xl in
+  xl := !xr;
+  xr := t;
+  xr := !xr lxor st.p.(1);
+  xl := !xl lxor st.p.(0);
+  (!xl, !xr)
+
+let key_schedule st =
+  for i = 0 to 17 do
+    st.p.(i) <- st.p.(i) lxor key.(i mod Array.length key)
+  done;
+  let l = ref 0 and r = ref 0 in
+  for i = 0 to 8 do
+    let l', r' = encrypt_block st (!l, !r) in
+    l := l';
+    r := r';
+    st.p.(2 * i) <- l';
+    st.p.((2 * i) + 1) <- r'
+  done;
+  for j = 0 to 511 do
+    let l', r' = encrypt_block st (!l, !r) in
+    l := l';
+    r := r';
+    st.s.(2 * j) <- l';
+    st.s.((2 * j) + 1) <- r'
+  done
+
+let host_roundtrip (text_words : int array) =
+  let st = host_init () in
+  key_schedule st;
+  let n = Array.length text_words in
+  assert (n mod 2 = 0);
+  let enc = Array.make n 0 and dec = Array.make n 0 in
+  let rec blocks k =
+    if k < n then begin
+      let l, r = encrypt_block st (text_words.(k), text_words.(k + 1)) in
+      enc.(k) <- l;
+      enc.(k + 1) <- r;
+      let l', r' = decrypt_block st (l, r) in
+      dec.(k) <- l';
+      dec.(k + 1) <- r';
+      blocks (k + 2)
+    end
+  in
+  blocks 0;
+  (enc, dec)
+
+(* ------------------------------------------------------------------ *)
+(* The Mlang program.                                                  *)
+
+let mlang_program (text_words : int array) : Mlang.Ast.program =
+  let open Mlang.Dsl in
+  let n = Array.length text_words in
+  let pi = Pi_digits.words 1042 in
+  let to32 a = Array.map Int32.of_int a in
+  program
+    [
+      garray_init "pbox" (to32 (Array.sub pi 0 18));
+      garray_init "sbox" (to32 (Array.sub pi 18 1024));
+      garray_init "key" (to32 key);
+      garray_init "text_in" (to32 text_words);
+      garray "enc" n;
+      garray "dec" n;
+      garray "lr" 2;  (* two-word block register for the round functions *)
+    ]
+    [
+      fn "bf_f" [ p_int "x" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          let_ "a" ((v "x" >>! i 24) &! i 255);
+          let_ "b" ((v "x" >>! i 16) &! i 255);
+          let_ "c" ((v "x" >>! i 8) &! i 255);
+          let_ "d" (v "x" &! i 255);
+          ret
+            ((("sbox".%(v "a") +! "sbox".%(i 256 +! v "b"))
+             ^! "sbox".%(i 512 +! v "c"))
+            +! "sbox".%(i 768 +! v "d"));
+        ];
+      proc "encrypt_block" []
+        [
+          let_ "xl" ("lr".%(i 0));
+          let_ "xr" ("lr".%(i 1));
+          for_ "round" (i 0) (i 16)
+            [
+              set "xl" (v "xl" ^! "pbox".%(v "round"));
+              set "xr" (v "xr" ^! call "bf_f" [ v "xl" ]);
+              let_ "t" (v "xl");
+              set "xl" (v "xr");
+              set "xr" (v "t");
+            ];
+          let_ "t2" (v "xl");
+          set "xl" (v "xr" ^! "pbox".%(i 17));
+          set "xr" (v "t2" ^! "pbox".%(i 16));
+          sto "lr" (i 0) (v "xl");
+          sto "lr" (i 1) (v "xr");
+        ];
+      proc "decrypt_block" []
+        [
+          let_ "xl" ("lr".%(i 0));
+          let_ "xr" ("lr".%(i 1));
+          let_ "round" (i 17);
+          while_ (v "round" >=! i 2)
+            [
+              set "xl" (v "xl" ^! "pbox".%(v "round"));
+              set "xr" (v "xr" ^! call "bf_f" [ v "xl" ]);
+              let_ "t" (v "xl");
+              set "xl" (v "xr");
+              set "xr" (v "t");
+              set "round" (v "round" -! i 1);
+            ];
+          let_ "t2" (v "xl");
+          set "xl" (v "xr" ^! "pbox".%(i 0));
+          set "xr" (v "t2" ^! "pbox".%(i 1));
+          sto "lr" (i 0) (v "xl");
+          sto "lr" (i 1) (v "xr");
+        ];
+      proc "key_schedule" []
+        [
+          for_ "k" (i 0) (i 18)
+            [
+              sto "pbox" (v "k") ("pbox".%(v "k") ^! "key".%(v "k" %! i 2));
+            ];
+          sto "lr" (i 0) (i 0);
+          sto "lr" (i 1) (i 0);
+          for_ "k" (i 0) (i 9)
+            [
+              call_ "encrypt_block" [];
+              sto "pbox" (i 2 *! v "k") ("lr".%(i 0));
+              sto "pbox" ((i 2 *! v "k") +! i 1) ("lr".%(i 1));
+            ];
+          for_ "k" (i 0) (i 512)
+            [
+              call_ "encrypt_block" [];
+              sto "sbox" (i 2 *! v "k") ("lr".%(i 0));
+              sto "sbox" ((i 2 *! v "k") +! i 1) ("lr".%(i 1));
+            ];
+        ];
+      proc "crypt_text" []
+        [
+          let_ "k" (i 0);
+          while_
+            (v "k" <! i n)
+            [
+              sto "lr" (i 0) ("text_in".%(v "k"));
+              sto "lr" (i 1) ("text_in".%(v "k" +! i 1));
+              call_ "encrypt_block" [];
+              sto "enc" (v "k") ("lr".%(i 0));
+              sto "enc" (v "k" +! i 1) ("lr".%(i 1));
+              call_ "decrypt_block" [];
+              sto "dec" (v "k") ("lr".%(i 0));
+              sto "dec" (v "k" +! i 1) ("lr".%(i 1));
+              set "k" (v "k" +! i 2);
+            ];
+        ];
+      fn ~eligible:false "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [ call_ "key_schedule" []; call_ "crypt_text" []; ret (i 0) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let sx32 v = ((v land 0xFFFFFFFF) lxor 0x80000000) - 0x80000000
+
+let build ~seed : App.built =
+  let text = Workloads.Text_gen.generate ~seed ~bytes:text_bytes in
+  let text_words =
+    Array.map Int32.to_int (Workloads.Text_gen.to_words text)
+    |> Array.map mask32
+  in
+  let prog = Mlang.Compile.to_ir (mlang_program text_words) in
+  let expected_enc, expected_dec = host_roundtrip text_words in
+  let original = Array.map sx32 text_words in
+  let bytes_of_words words =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun w ->
+              let u = w land 0xFFFFFFFF in
+              [| (u lsr 24) land 255; (u lsr 16) land 255; (u lsr 8) land 255; u land 255 |])
+            words))
+  in
+  let score ~golden:_ (r : Sim.Interp.result) =
+    (* "% bytes correct from original": decrypt output vs input text. *)
+    Fidelity.Byte_match.pct_equal
+      (bytes_of_words original)
+      (bytes_of_words (App.out_ints r prog "dec"))
+  in
+  let host_check (r : Sim.Interp.result) =
+    let enc = App.out_ints r prog "enc" in
+    let dec = App.out_ints r prog "dec" in
+    if enc <> Array.map sx32 expected_enc then
+      Error "blowfish: ciphertext differs from host reference"
+    else if dec <> Array.map sx32 expected_dec then
+      Error "blowfish: decrypted text differs from host reference"
+    else if dec <> original then Error "blowfish: round trip is not identity"
+    else Ok ()
+  in
+  {
+    App.app_name = "blowfish";
+    prog;
+    fidelity_name = "% bytes correct";
+    fidelity_units = "%";
+    higher_is_better = true;
+    threshold = Some 90.0;
+    score;
+    host_check;
+  }
+
+let app : App.t =
+  {
+    App.name = "blowfish";
+    description =
+      "Blowfish symmetric block cipher: key schedule + ECB encrypt/decrypt \
+       round trip over ASCII text; fidelity = % bytes matching the original";
+    source = "MiBench";
+    build;
+  }

@@ -1,0 +1,372 @@
+(* GSM (MiBench telecomm): a reduced RPE-LTP speech codec with the
+   06.10 structure the paper injects into — per-subframe long-term
+   prediction (lag search + 2-bit gain), regular-pulse-excitation grid
+   selection, APCM block quantization, and a decoder that mirrors the
+   closed-loop encoder. All arithmetic is integer (fixed point), like
+   the real codec.
+
+   Fidelity (paper Figure 5, "% SNR from Optimal"): the decoded
+   signal's SNR against the original speech, as a percentage of the
+   fault-free decode's SNR. *)
+
+let n_samples = 640       (* 4 frames x 160 samples *)
+let sub_len = 40
+let n_sub = n_samples / sub_len
+let min_lag = 40
+let max_lag = 120
+let n_pulses = 13         (* RPE subsampling by 3: 13 pulses per subframe *)
+
+(* LTP gain quantizer: levels b = {0.10, 0.35, 0.65, 1.00} in Q5. *)
+let gain_levels = [| 3; 11; 21; 32 |]
+
+(* ------------------------------------------------------------------ *)
+(* Host reference implementation.                                      *)
+
+type coded = {
+  lags : int array;
+  gains : int array;   (* index into gain_levels *)
+  grids : int array;
+  xmaxs : int array;
+  pulses : int array;  (* n_sub * n_pulses *)
+}
+
+(* Select gain index from scaled cross/energy correlations, using
+   multiplication-only threshold tests (0.2 / 0.5 / 0.8). *)
+let quantize_gain ~cross ~energy =
+  if cross <= 0 || energy <= 0 then 0
+  else if 5 * cross < energy then 0
+  else if 2 * cross < energy then 1
+  else if 5 * cross < 4 * energy then 2
+  else 3
+
+let host_codec (speech : int array) =
+  let lags = Array.make n_sub 0
+  and gains = Array.make n_sub 0
+  and grids = Array.make n_sub 0
+  and xmaxs = Array.make n_sub 0
+  and pulses = Array.make (n_sub * n_pulses) 0 in
+  let recon = Array.make n_samples 0 in
+  (* ---- encoder (closed loop over [recon]) ---- *)
+  for s = 0 to n_sub - 1 do
+    let base = s * sub_len in
+    let hist k = if k < 0 then 0 else recon.(k) in
+    (* LTP lag search on >>3-scaled samples to keep products small *)
+    let best_lag = ref min_lag and best_cross = ref min_int in
+    for lag = min_lag to max_lag do
+      let cross = ref 0 in
+      for k = 0 to sub_len - 1 do
+        cross :=
+          !cross + ((speech.(base + k) asr 3) * (hist (base + k - lag) asr 3))
+      done;
+      if !cross > !best_cross then begin
+        best_cross := !cross;
+        best_lag := lag
+      end
+    done;
+    let lag = !best_lag in
+    let energy = ref 0 in
+    for k = 0 to sub_len - 1 do
+      let h = hist (base + k - lag) asr 3 in
+      energy := !energy + (h * h)
+    done;
+    let gidx = quantize_gain ~cross:!best_cross ~energy:!energy in
+    let b = gain_levels.(gidx) in
+    (* short-term residual after LTP *)
+    let resid = Array.make sub_len 0 in
+    for k = 0 to sub_len - 1 do
+      resid.(k) <- speech.(base + k) - ((b * hist (base + k - lag)) asr 5)
+    done;
+    (* RPE grid: the subsampling phase with maximal energy *)
+    let best_grid = ref 0 and best_e = ref min_int in
+    for m = 0 to 2 do
+      let e = ref 0 in
+      for j = 0 to n_pulses - 1 do
+        let x = resid.(m + (3 * j)) asr 2 in
+        e := !e + (x * x)
+      done;
+      if !e > !best_e then begin
+        best_e := !e;
+        best_grid := m
+      end
+    done;
+    let m = !best_grid in
+    (* APCM: scale the 13 pulses by the block maximum into [-7, 7] *)
+    let xmax = ref 0 in
+    for j = 0 to n_pulses - 1 do
+      let a = abs resid.(m + (3 * j)) in
+      if a > !xmax then xmax := a
+    done;
+    for j = 0 to n_pulses - 1 do
+      let q =
+        if !xmax = 0 then 0 else resid.(m + (3 * j)) * 7 / !xmax
+      in
+      pulses.((s * n_pulses) + j) <- q
+    done;
+    lags.(s) <- lag;
+    gains.(s) <- gidx;
+    grids.(s) <- m;
+    xmaxs.(s) <- !xmax;
+    (* reconstruct for the closed loop *)
+    for k = 0 to sub_len - 1 do
+      recon.(base + k) <- (b * hist (base + k - lag)) asr 5
+    done;
+    for j = 0 to n_pulses - 1 do
+      let e' =
+        if !xmax = 0 then 0 else pulses.((s * n_pulses) + j) * !xmax / 7
+      in
+      recon.(base + m + (3 * j)) <- recon.(base + m + (3 * j)) + e'
+    done
+  done;
+  (* ---- decoder (independent pass over the coded parameters) ----
+     Each parameter is masked to its bitstream field width before use
+     (identity on valid encoder output), and samples saturate to 16
+     bits — as in the real codec. *)
+  let dec = Array.make n_samples 0 in
+  for s = 0 to n_sub - 1 do
+    let base = s * sub_len in
+    let hist k = if k < 0 then 0 else dec.(k) in
+    let lag =
+      let l = lags.(s) land 127 in
+      if l < min_lag then min_lag else l
+    in
+    let b = gain_levels.(gains.(s) land 3) in
+    let m =
+      let m = grids.(s) land 3 in
+      if m > 2 then 2 else m
+    in
+    let xmax = xmaxs.(s) land 0x7FFF in
+    for k = 0 to sub_len - 1 do
+      dec.(base + k) <- (b * hist (base + k - lag)) asr 5
+    done;
+    for j = 0 to n_pulses - 1 do
+      let q = ((pulses.((s * n_pulses) + j) + 8) land 15) - 8 in
+      let e' = if xmax = 0 then 0 else q * xmax / 7 in
+      dec.(base + m + (3 * j)) <-
+        App.clamp (-32768) 32767 (dec.(base + m + (3 * j)) + e')
+    done
+  done;
+  ({ lags; gains; grids; xmaxs; pulses }, recon, dec)
+
+(* ------------------------------------------------------------------ *)
+(* The Mlang program.                                                  *)
+
+let mlang_program (speech : int array) : Mlang.Ast.program =
+  let open Mlang.Dsl in
+  let a32 = App.ints_of_array in
+  (* hist(k) as a guarded load is inlined via a helper function *)
+  program
+    [
+      garray_init "speech" (a32 speech);
+      garray_init "glevels" (a32 gain_levels);
+      garray "recon" n_samples;
+      garray "dec" n_samples;
+      garray "lags" n_sub;
+      garray "gains" n_sub;
+      garray "grids" n_sub;
+      garray "xmaxs" n_sub;
+      garray "pulses" (n_sub * n_pulses);
+      garray "resid" sub_len;
+    ]
+    [
+      (* recon[k] for k possibly negative (history before start) *)
+      fn "hist_r" [ p_int "k" ] ~ret:(Some Mlang.Ast.TInt)
+        [ when_ (v "k" <! i 0) [ ret (i 0) ]; ret ("recon".%(v "k")) ];
+      fn "hist_d" [ p_int "k" ] ~ret:(Some Mlang.Ast.TInt)
+        [ when_ (v "k" <! i 0) [ ret (i 0) ]; ret ("dec".%(v "k")) ];
+      fn "clamp16" [ p_int "x" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          when_ (v "x" >! i 32767) [ ret (i 32767) ];
+          when_ (v "x" <! i (-32768)) [ ret (i (-32768)) ];
+          ret (v "x");
+        ];
+      fn "quant_gain" [ p_int "cross"; p_int "energy" ]
+        ~ret:(Some Mlang.Ast.TInt)
+        [
+          when_ ((v "cross" <=! i 0) ||! (v "energy" <=! i 0)) [ ret (i 0) ];
+          when_ ((i 5 *! v "cross") <! v "energy") [ ret (i 0) ];
+          when_ ((i 2 *! v "cross") <! v "energy") [ ret (i 1) ];
+          when_ ((i 5 *! v "cross") <! (i 4 *! v "energy")) [ ret (i 2) ];
+          ret (i 3);
+        ];
+      proc "encode" []
+        [
+          for_ "s" (i 0) (i n_sub)
+            [
+              let_ "base" (v "s" *! i sub_len);
+              (* LTP lag search *)
+              let_ "best_lag" (i min_lag);
+              let_ "best_cross" (i (-1073741824));
+              for_ "lag" (i min_lag)
+                (i (max_lag + 1))
+                [
+                  let_ "cross" (i 0);
+                  for_ "k" (i 0) (i sub_len)
+                    [
+                      set "cross"
+                        (v "cross"
+                        +! (("speech".%(v "base" +! v "k") >>>! i 3)
+                           *! (call "hist_r" [ v "base" +! v "k" -! v "lag" ]
+                              >>>! i 3)));
+                    ];
+                  when_
+                    (v "cross" >! v "best_cross")
+                    [ set "best_cross" (v "cross"); set "best_lag" (v "lag") ];
+                ];
+              let_ "lag" (v "best_lag");
+              let_ "energy" (i 0);
+              for_ "k" (i 0) (i sub_len)
+                [
+                  let_ "h"
+                    (call "hist_r" [ v "base" +! v "k" -! v "lag" ] >>>! i 3);
+                  set "energy" (v "energy" +! (v "h" *! v "h"));
+                ];
+              let_ "gidx" (call "quant_gain" [ v "best_cross"; v "energy" ]);
+              let_ "b" ("glevels".%(v "gidx"));
+              for_ "k" (i 0) (i sub_len)
+                [
+                  sto "resid" (v "k")
+                    ("speech".%(v "base" +! v "k")
+                    -! ((v "b" *! call "hist_r" [ v "base" +! v "k" -! v "lag" ])
+                       >>>! i 5));
+                ];
+              (* RPE grid selection *)
+              let_ "best_grid" (i 0);
+              let_ "best_e" (i (-1073741824));
+              for_ "m" (i 0) (i 3)
+                [
+                  let_ "e" (i 0);
+                  for_ "j" (i 0) (i n_pulses)
+                    [
+                      let_ "x" ("resid".%(v "m" +! (i 3 *! v "j")) >>>! i 2);
+                      set "e" (v "e" +! (v "x" *! v "x"));
+                    ];
+                  when_
+                    (v "e" >! v "best_e")
+                    [ set "best_e" (v "e"); set "best_grid" (v "m") ];
+                ];
+              let_ "m" (v "best_grid");
+              (* APCM *)
+              let_ "xmax" (i 0);
+              for_ "j" (i 0) (i n_pulses)
+                [
+                  let_ "a" ("resid".%(v "m" +! (i 3 *! v "j")));
+                  when_ (v "a" <! i 0) [ set "a" (neg (v "a")) ];
+                  when_ (v "a" >! v "xmax") [ set "xmax" (v "a") ];
+                ];
+              for_ "j" (i 0) (i n_pulses)
+                [
+                  let_ "q" (i 0);
+                  when_
+                    (v "xmax" <>! i 0)
+                    [
+                      set "q"
+                        ("resid".%(v "m" +! (i 3 *! v "j")) *! i 7 /! v "xmax");
+                    ];
+                  sto "pulses" ((v "s" *! i n_pulses) +! v "j") (v "q");
+                ];
+              sto "lags" (v "s") (v "lag");
+              sto "gains" (v "s") (v "gidx");
+              sto "grids" (v "s") (v "m");
+              sto "xmaxs" (v "s") (v "xmax");
+              (* closed-loop reconstruction *)
+              for_ "k" (i 0) (i sub_len)
+                [
+                  sto "recon" (v "base" +! v "k")
+                    ((v "b" *! call "hist_r" [ v "base" +! v "k" -! v "lag" ])
+                    >>>! i 5);
+                ];
+              for_ "j" (i 0) (i n_pulses)
+                [
+                  let_ "e2" (i 0);
+                  when_
+                    (v "xmax" <>! i 0)
+                    [
+                      set "e2"
+                        ("pulses".%((v "s" *! i n_pulses) +! v "j")
+                        *! v "xmax" /! i 7);
+                    ];
+                  let_ "at" (v "base" +! v "m" +! (i 3 *! v "j"));
+                  sto "recon" (v "at") ("recon".%(v "at") +! v "e2");
+                ];
+            ];
+        ];
+      proc "decode" []
+        [
+          for_ "s" (i 0) (i n_sub)
+            [
+              let_ "base" (v "s" *! i sub_len);
+              (* mask every parameter to its bitstream field width
+                 (identity on valid encoder output) *)
+              let_ "lag" ("lags".%(v "s") &! i 127);
+              when_ (v "lag" <! i min_lag) [ set "lag" (i min_lag) ];
+              let_ "b" ("glevels".%("gains".%(v "s") &! i 3));
+              let_ "m" ("grids".%(v "s") &! i 3);
+              when_ (v "m" >! i 2) [ set "m" (i 2) ];
+              let_ "xmax" ("xmaxs".%(v "s") &! i 0x7FFF);
+              for_ "k" (i 0) (i sub_len)
+                [
+                  sto "dec" (v "base" +! v "k")
+                    ((v "b" *! call "hist_d" [ v "base" +! v "k" -! v "lag" ])
+                    >>>! i 5);
+                ];
+              for_ "j" (i 0) (i n_pulses)
+                [
+                  let_ "q"
+                    ((("pulses".%((v "s" *! i n_pulses) +! v "j") +! i 8)
+                     &! i 15)
+                    -! i 8);
+                  let_ "e2" (i 0);
+                  when_
+                    (v "xmax" <>! i 0)
+                    [ set "e2" (v "q" *! v "xmax" /! i 7) ];
+                  let_ "at" (v "base" +! v "m" +! (i 3 *! v "j"));
+                  sto "dec" (v "at")
+                    (call "clamp16" [ "dec".%(v "at") +! v "e2" ]);
+                ];
+            ];
+        ];
+      fn ~eligible:false "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [ call_ "encode" []; call_ "decode" []; ret (i 0) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let build ~seed : App.built =
+  let speech = Workloads.Audio_gen.speech ~seed ~samples:n_samples in
+  let prog = Mlang.Compile.to_ir (mlang_program speech) in
+  let coded, expected_recon, expected_dec = host_codec speech in
+  let golden_snr = Fidelity.Snr.snr_db speech expected_dec in
+  let score ~golden:_ (r : Sim.Interp.result) =
+    let snr = Fidelity.Snr.snr_db speech (App.out_ints r prog "dec") in
+    if golden_snr <= 0.0 then 0.0
+    else 100.0 *. Float.max 0.0 snr /. golden_snr
+  in
+  let host_check (r : Sim.Interp.result) =
+    if App.out_ints r prog "recon" <> expected_recon then
+      Error "gsm: encoder reconstruction differs from host reference"
+    else if App.out_ints r prog "dec" <> expected_dec then
+      Error "gsm: decode differs from host reference"
+    else if App.out_ints r prog "lags" <> coded.lags then
+      Error "gsm: LTP lags differ from host reference"
+    else Ok ()
+  in
+  {
+    App.app_name = "gsm";
+    prog;
+    fidelity_name = "% SNR from optimal";
+    fidelity_units = "%";
+    higher_is_better = true;
+    threshold = Some 70.0;
+    score;
+    host_check;
+  }
+
+let app : App.t =
+  {
+    App.name = "gsm";
+    description =
+      "reduced RPE-LTP speech codec (lag search, gain quantization, RPE \
+       grid, APCM); fidelity = decoded SNR as % of the fault-free SNR";
+    source = "MiBench telecomm (GSM 06.10)";
+    build;
+  }

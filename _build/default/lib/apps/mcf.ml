@@ -1,0 +1,308 @@
+(* MCF (SPEC CPU2000): single-depot vehicle scheduling as min-cost
+   flow. The paper's MCF uses a network simplex; we solve the same
+   problem with successive shortest paths (SPFA search, max-capacity
+   augmentation), which is exact for min-cost flow — the fidelity
+   question ("was the schedule optimal / feasible?") is unchanged.
+
+   Output is the flow on every arc plus the reported cost; fidelity
+   checks feasibility (conservation + capacities + full supply) and
+   optimality against the host solver. The paper observed that wrong
+   schedules were "not just inoptimal, but incomplete" — exactly what
+   [Fidelity.Schedule.check] classifies as [Infeasible]. *)
+
+let inf = 1_000_000_000
+let queue_size = 4096
+
+(* ------------------------------------------------------------------ *)
+(* Host reference implementation.                                      *)
+
+type graph = {
+  n : int;
+  (* residual arcs, paired: arc 2j forward, 2j+1 backward *)
+  afrom : int array;
+  ato : int array;
+  acap : int array;
+  acost : int array;
+  head : int array;  (* adjacency list head per node, -1 = none *)
+  next : int array;  (* next arc index in the same list, -1 = end *)
+}
+
+let build_graph (inst : Workloads.Network_gen.t) =
+  let m = Array.length inst.Workloads.Network_gen.arcs in
+  let afrom = Array.make (2 * m) 0
+  and ato = Array.make (2 * m) 0
+  and acap = Array.make (2 * m) 0
+  and acost = Array.make (2 * m) 0 in
+  let head = Array.make inst.Workloads.Network_gen.n_nodes (-1) in
+  let next = Array.make (2 * m) (-1) in
+  Array.iteri
+    (fun j (u, v, cap, cost) ->
+      let a = 2 * j and b = (2 * j) + 1 in
+      afrom.(a) <- u;
+      ato.(a) <- v;
+      acap.(a) <- cap;
+      acost.(a) <- cost;
+      afrom.(b) <- v;
+      ato.(b) <- u;
+      acap.(b) <- 0;
+      acost.(b) <- -cost;
+      next.(a) <- head.(u);
+      head.(u) <- a;
+      next.(b) <- head.(v);
+      head.(v) <- b)
+    inst.Workloads.Network_gen.arcs;
+  { n = inst.Workloads.Network_gen.n_nodes; afrom; ato; acap; acost; head; next }
+
+(* One SPFA shortest-path pass; fills dist/prev_arc; returns whether
+   the sink is reachable. *)
+let spfa g ~source ~sink ~dist ~prev_arc =
+  Array.fill dist 0 g.n inf;
+  Array.fill prev_arc 0 g.n (-1);
+  let inq = Array.make g.n false in
+  let q = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source q;
+  inq.(source) <- true;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    inq.(u) <- false;
+    let a = ref g.head.(u) in
+    while !a >= 0 do
+      let arc = !a in
+      if g.acap.(arc) > 0 && dist.(u) + g.acost.(arc) < dist.(g.ato.(arc))
+      then begin
+        dist.(g.ato.(arc)) <- dist.(u) + g.acost.(arc);
+        prev_arc.(g.ato.(arc)) <- arc;
+        if not inq.(g.ato.(arc)) then begin
+          Queue.add g.ato.(arc) q;
+          inq.(g.ato.(arc)) <- true
+        end
+      end;
+      a := g.next.(arc)
+    done
+  done;
+  dist.(sink) < inf
+
+let host_solve (inst : Workloads.Network_gen.t) =
+  let g = build_graph inst in
+  let source = inst.Workloads.Network_gen.source
+  and sink = inst.Workloads.Network_gen.sink in
+  let dist = Array.make g.n 0 and prev_arc = Array.make g.n 0 in
+  let shipped = ref 0 and cost = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !shipped < inst.Workloads.Network_gen.supply do
+    if not (spfa g ~source ~sink ~dist ~prev_arc) then continue_ := false
+    else begin
+      (* bottleneck along the path *)
+      let f = ref (inst.Workloads.Network_gen.supply - !shipped) in
+      let node = ref sink in
+      while !node <> source do
+        let a = prev_arc.(!node) in
+        if g.acap.(a) < !f then f := g.acap.(a);
+        node := g.afrom.(a)
+      done;
+      let node = ref sink in
+      while !node <> source do
+        let a = prev_arc.(!node) in
+        g.acap.(a) <- g.acap.(a) - !f;
+        g.acap.(a lxor 1) <- g.acap.(a lxor 1) + !f;
+        cost := !cost + (!f * g.acost.(a));
+        node := g.afrom.(a)
+      done;
+      shipped := !shipped + !f
+    end
+  done;
+  let m = Array.length inst.Workloads.Network_gen.arcs in
+  let flows =
+    Array.init m (fun j ->
+        let (_, _, cap, _) = inst.Workloads.Network_gen.arcs.(j) in
+        cap - g.acap.(2 * j))
+  in
+  (flows, !cost, !shipped)
+
+(* ------------------------------------------------------------------ *)
+(* The Mlang program.                                                  *)
+
+let mlang_program (inst : Workloads.Network_gen.t) : Mlang.Ast.program =
+  let open Mlang.Dsl in
+  let g = build_graph inst in
+  let m = Array.length inst.Workloads.Network_gen.arcs in
+  let n = g.n in
+  let caps = Array.map (fun (_, _, cap, _) -> cap) inst.Workloads.Network_gen.arcs in
+  let a32 = App.ints_of_array in
+  program
+    [
+      garray_init "afrom" (a32 g.afrom);
+      garray_init "ato" (a32 g.ato);
+      garray_init "acap" (a32 g.acap);  (* mutated: residual capacities *)
+      garray_init "acost" (a32 g.acost);
+      garray_init "head" (a32 g.head);
+      garray_init "nxt" (a32 g.next);
+      garray_init "caps" (a32 caps);
+      garray "dist" n;
+      garray "prevarc" n;
+      garray "inq" n;
+      garray "queue" queue_size;
+      garray "flows" m;
+      garray "result" 2;  (* total cost, shipped units *)
+    ]
+    [
+      (* SPFA from source; returns 1 when the sink is reachable. *)
+      fn "spfa" [ p_int "source"; p_int "sink" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          for_ "u" (i 0) (i n)
+            [
+              sto "dist" (v "u") (i inf);
+              sto "prevarc" (v "u") (i (-1));
+              sto "inq" (v "u") (i 0);
+            ];
+          sto "dist" (v "source") (i 0);
+          sto "queue" (i 0) (v "source");
+          sto "inq" (v "source") (i 1);
+          let_ "qh" (i 0);
+          let_ "qt" (i 1);
+          while_
+            (v "qh" <>! v "qt")
+            [
+              let_ "u" ("queue".%(v "qh"));
+              set "qh" ((v "qh" +! i 1) %! i queue_size);
+              sto "inq" (v "u") (i 0);
+              let_ "a" ("head".%(v "u"));
+              while_
+                (v "a" >=! i 0)
+                [
+                  let_ "w" ("ato".%(v "a"));
+                  let_ "nd" ("dist".%(v "u") +! "acost".%(v "a"));
+                  when_
+                    (("acap".%(v "a") >! i 0) &&! (v "nd" <! "dist".%(v "w")))
+                    [
+                      sto "dist" (v "w") (v "nd");
+                      sto "prevarc" (v "w") (v "a");
+                      when_
+                        ("inq".%(v "w") ==! i 0)
+                        [
+                          sto "queue" (v "qt") (v "w");
+                          set "qt" ((v "qt" +! i 1) %! i queue_size);
+                          sto "inq" (v "w") (i 1);
+                        ];
+                    ];
+                  set "a" ("nxt".%(v "a"));
+                ];
+            ];
+          ret ("dist".%(v "sink") <! i inf);
+        ];
+      proc "solve" [ p_int "source"; p_int "sink"; p_int "supply" ]
+        [
+          let_ "shipped" (i 0);
+          let_ "cost" (i 0);
+          let_ "go" (i 1);
+          while_
+            ((v "go" ==! i 1) &&! (v "shipped" <! v "supply"))
+            [
+              if_
+                (call "spfa" [ v "source"; v "sink" ] ==! i 0)
+                [ set "go" (i 0) ]
+                [
+                  let_ "f" (v "supply" -! v "shipped");
+                  let_ "node" (v "sink");
+                  while_
+                    (v "node" <>! v "source")
+                    [
+                      let_ "a" ("prevarc".%(v "node"));
+                      when_
+                        ("acap".%(v "a") <! v "f")
+                        [ set "f" ("acap".%(v "a")) ];
+                      set "node" ("afrom".%(v "a"));
+                    ];
+                  set "node" (v "sink");
+                  while_
+                    (v "node" <>! v "source")
+                    [
+                      let_ "a" ("prevarc".%(v "node"));
+                      sto "acap" (v "a") ("acap".%(v "a") -! v "f");
+                      sto "acap" (v "a" ^! i 1) ("acap".%(v "a" ^! i 1) +! v "f");
+                      set "cost" (v "cost" +! (v "f" *! "acost".%(v "a")));
+                      set "node" ("afrom".%(v "a"));
+                    ];
+                  set "shipped" (v "shipped" +! v "f");
+                ];
+            ];
+          for_ "j" (i 0) (i m)
+            [ sto "flows" (v "j") ("caps".%(v "j") -! "acap".%(i 2 *! v "j")) ];
+          sto "result" (i 0) (v "cost");
+          sto "result" (i 1) (v "shipped");
+        ];
+      fn ~eligible:false "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [
+          call_ "solve"
+            [
+              i inst.Workloads.Network_gen.source;
+              i inst.Workloads.Network_gen.sink;
+              i inst.Workloads.Network_gen.supply;
+            ];
+          ret (i 0);
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+(* Clamp the requested supply to the instance's max-flow value so every
+   built instance is feasible (the paper's instances always admit a
+   complete schedule). *)
+let instance ~seed =
+  let base =
+    Workloads.Network_gen.generate ~seed ~layers:5 ~per_layer:5 ~supply:12
+  in
+  let _, _, shippable = host_solve base in
+  { base with Workloads.Network_gen.supply = min 12 shippable }
+
+(* Schedule verdict for a completed run: feasibility + optimality. *)
+let verdict ~inst ~optimal_cost (r : Sim.Interp.result) prog =
+  let flows = App.out_ints r prog "flows" in
+  let result = App.out_ints r prog "result" in
+  Fidelity.Schedule.check
+    (Workloads.Network_gen.to_fidelity_instance inst)
+    ~optimal_cost ~flows ~reported_cost:result.(0)
+
+let build ~seed : App.built =
+  let inst = instance ~seed in
+  let prog = Mlang.Compile.to_ir (mlang_program inst) in
+  let expected_flows, expected_cost, expected_shipped = host_solve inst in
+  assert (expected_shipped = inst.Workloads.Network_gen.supply);
+  let score ~golden:_ (r : Sim.Interp.result) =
+    match verdict ~inst ~optimal_cost:expected_cost r prog with
+    | Fidelity.Schedule.Optimal -> 100.0
+    | Fidelity.Schedule.Suboptimal extra -> Float.max 0.0 (100.0 -. extra)
+    | Fidelity.Schedule.Infeasible -> 0.0
+  in
+  let host_check (r : Sim.Interp.result) =
+    let flows = App.out_ints r prog "flows" in
+    let result = App.out_ints r prog "result" in
+    if flows <> expected_flows then
+      Error "mcf: flows differ from host reference"
+    else if result.(0) <> expected_cost then
+      Error "mcf: cost differs from host reference"
+    else if result.(1) <> expected_shipped then
+      Error "mcf: shipped units differ from host reference"
+    else Ok ()
+  in
+  {
+    App.app_name = "mcf";
+    prog;
+    fidelity_name = "schedule quality";
+    fidelity_units = "% (100 = optimal)";
+    higher_is_better = true;
+    threshold = Some 100.0;
+    score;
+    host_check;
+  }
+
+let app : App.t =
+  {
+    App.name = "mcf";
+    description =
+      "single-depot vehicle scheduling as min-cost flow (successive \
+       shortest paths); fidelity = schedule feasibility and optimality";
+    source = "SPEC CPU2000 (181.mcf)";
+    build;
+  }

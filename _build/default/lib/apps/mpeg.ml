@@ -1,0 +1,444 @@
+(* MPEG (paper Table 1: "MPEG video encoding", fidelity = % frames not
+   dropped). A reduced-scale MPEG-style codec with the structure the
+   paper's analysis cares about: I frames intra-coded, P frames
+   predicted from the previous reference, B frames bidirectionally
+   predicted from the surrounding references, residuals through an
+   8x8 integer DCT + flat quantizer, closed-loop reconstruction in the
+   encoder and a separate decoder pass.
+
+   A frame is "bad" when its decoded quality (SNR against the original
+   input frame) drops more than 2 dB (I), 4 dB (P) or 6 dB (B) below
+   the fault-free decode of the same frame; the fidelity threshold is
+   10% bad frames. *)
+
+let frame_w = 16
+let frame_h = 16
+let frame_px = frame_w * frame_h
+let n_frames = 7
+
+(* Display-order frame types and references. *)
+let ftype = [| 0; 2; 2; 1; 2; 2; 1 |]  (* 0 = I, 1 = P, 2 = B *)
+let ref1 = [| 0; 0; 0; 0; 3; 3; 3 |]   (* previous reference *)
+let ref2 = [| 0; 3; 3; 0; 6; 6; 0 |]   (* next reference (B frames) *)
+let coding_order = [| 0; 3; 1; 2; 6; 4; 5 |]
+
+let quant_step = 16
+
+(* 8-point orthonormal DCT basis scaled by 64:
+   T.(u).(x) = round(64 * c(u) * cos((2x+1)u*pi/16)). Scale 64 keeps
+   the worst-case two-stage product (~5e8) inside 32 bits, so the
+   simulated 32-bit arithmetic matches the host exactly. *)
+let dct_scale_shift = 12  (* two stages of x64 *)
+
+let dct_t =
+  let pi = 4.0 *. atan 1.0 in
+  Array.init 8 (fun u ->
+      Array.init 8 (fun x ->
+          let c = if u = 0 then sqrt (1.0 /. 8.0) else 0.5 in
+          int_of_float
+            (Float.round
+               (64.0 *. c *. cos ((2.0 *. float_of_int x +. 1.0) *. float_of_int u *. pi /. 16.0)))))
+
+let dct_flat = Array.concat (Array.to_list dct_t)
+
+(* ------------------------------------------------------------------ *)
+(* Host reference implementation (exact integer mirror of the Mlang).  *)
+
+(* Exact product; [ta]/[tb] transpose flags let one routine serve all
+   four stage shapes. *)
+let matmul (a : int array) (b : int array) ~ta ~tb =
+  let out = Array.make 64 0 in
+  for r = 0 to 7 do
+    for c = 0 to 7 do
+      let acc = ref 0 in
+      for k = 0 to 7 do
+        let av = if ta then a.((k * 8) + r) else a.((r * 8) + k) in
+        let bv = if tb then b.((c * 8) + k) else b.((k * 8) + c) in
+        acc := !acc + (av * bv)
+      done;
+      out.((r * 8) + c) <- !acc
+    done
+  done;
+  out
+
+let shift_round a =
+  Array.map
+    (fun x -> (x + (1 lsl (dct_scale_shift - 1))) asr dct_scale_shift)
+    a
+
+let fwd_dct blk =
+  shift_round (matmul (matmul dct_flat blk ~ta:false ~tb:false) dct_flat ~ta:false ~tb:true)
+
+let inv_dct coef =
+  shift_round (matmul (matmul dct_flat coef ~ta:true ~tb:false) dct_flat ~ta:false ~tb:false)
+
+let host_codec (frames : int array) =
+  let recon = Array.make (n_frames * frame_px) 0 in
+  let coefs = Array.make (n_frames * frame_px) 0 in
+  let code_frame fi =
+    let t = ftype.(fi) in
+    List.iter
+      (fun (by, bx) ->
+        let blk = Array.make 64 0 and pred = Array.make 64 0 in
+        for r = 0 to 7 do
+          for c = 0 to 7 do
+            let idx = ((by + r) * frame_w) + bx + c in
+            let p =
+              if t = 0 then 0
+              else if t = 1 then recon.((ref1.(fi) * frame_px) + idx)
+              else
+                (recon.((ref1.(fi) * frame_px) + idx)
+                + recon.((ref2.(fi) * frame_px) + idx))
+                / 2
+            in
+            pred.((r * 8) + c) <- p;
+            blk.((r * 8) + c) <- frames.((fi * frame_px) + idx) - p
+          done
+        done;
+        let coef = fwd_dct blk in
+        let q = Array.map (fun x -> x / quant_step) coef in
+        let dq = Array.map (fun x -> x * quant_step) q in
+        let res = inv_dct dq in
+        for r = 0 to 7 do
+          for c = 0 to 7 do
+            let idx = ((by + r) * frame_w) + bx + c in
+            coefs.((fi * frame_px) + idx) <- q.((r * 8) + c);
+            recon.((fi * frame_px) + idx) <-
+              App.clamp 0 255 (res.((r * 8) + c) + pred.((r * 8) + c))
+          done
+        done)
+      [ (0, 0); (0, 8); (8, 0); (8, 8) ]
+  in
+  Array.iter code_frame coding_order;
+  (* Decoder: same prediction structure over its own output. *)
+  let decoded = Array.make (n_frames * frame_px) 0 in
+  let decode_frame fi =
+    let t = ftype.(fi) in
+    List.iter
+      (fun (by, bx) ->
+        let q = Array.make 64 0 and pred = Array.make 64 0 in
+        for r = 0 to 7 do
+          for c = 0 to 7 do
+            let idx = ((by + r) * frame_w) + bx + c in
+            q.((r * 8) + c) <- coefs.((fi * frame_px) + idx);
+            pred.((r * 8) + c) <-
+              (if t = 0 then 0
+               else if t = 1 then decoded.((ref1.(fi) * frame_px) + idx)
+               else
+                 (decoded.((ref1.(fi) * frame_px) + idx)
+                 + decoded.((ref2.(fi) * frame_px) + idx))
+                 / 2)
+          done
+        done;
+        let res = inv_dct (Array.map (fun x -> x * quant_step) q) in
+        for r = 0 to 7 do
+          for c = 0 to 7 do
+            let idx = ((by + r) * frame_w) + bx + c in
+            decoded.((fi * frame_px) + idx) <-
+              App.clamp 0 255 (res.((r * 8) + c) + pred.((r * 8) + c))
+          done
+        done)
+      [ (0, 0); (0, 8); (8, 0); (8, 8) ]
+  in
+  Array.iter decode_frame coding_order;
+  (coefs, recon, decoded)
+
+(* ------------------------------------------------------------------ *)
+(* The Mlang program.                                                  *)
+
+let mlang_program (frames : int array) : Mlang.Ast.program =
+  let open Mlang.Dsl in
+  let a32 = App.ints_of_array in
+  (* shared 8x8 scratch: blk (input/output), tmp, coef *)
+  program
+    [
+      garray_init_b "frames_in" (a32 frames);
+      garray "coefs" (n_frames * frame_px);
+      garray_b "recon" (n_frames * frame_px);
+      garray_b "decoded" (n_frames * frame_px);
+      garray_init "dct_t" (a32 dct_flat);
+      garray_init_b "ftype" (a32 ftype);
+      garray_init_b "ref1" (a32 ref1);
+      garray_init_b "ref2" (a32 ref2);
+      garray_init_b "corder" (a32 coding_order);
+      garray "blk" 64;
+      garray "tmp" 64;
+      garray "coef" 64;
+      garray "pred" 64;
+    ]
+    [
+      (* tmp = dct_t . blk, with >>14 rounding *)
+      proc "mm_t_blk" []
+        [
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "acc" (i 0);
+                  for_ "k" (i 0) (i 8)
+                    [
+                      set "acc"
+                        (v "acc"
+                        +! ("dct_t".%((v "r" *! i 8) +! v "k")
+                           *! "blk".%((v "k" *! i 8) +! v "c")));
+                    ];
+                  sto "tmp" ((v "r" *! i 8) +! v "c") (v "acc");
+                ];
+            ];
+        ];
+      (* coef = (tmp . dct_t^T) >> 14 *)
+      proc "mm_tmp_tt" []
+        [
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "acc" (i 0);
+                  for_ "k" (i 0) (i 8)
+                    [
+                      set "acc"
+                        (v "acc"
+                        +! ("tmp".%((v "r" *! i 8) +! v "k")
+                           *! "dct_t".%((v "c" *! i 8) +! v "k")));
+                    ];
+                  sto "coef" ((v "r" *! i 8) +! v "c")
+                    ((v "acc" +! i 2048) >>>! i 12);
+                ];
+            ];
+        ];
+      (* tmp = dct_t^T . blk *)
+      proc "mm_tt_blk" []
+        [
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "acc" (i 0);
+                  for_ "k" (i 0) (i 8)
+                    [
+                      set "acc"
+                        (v "acc"
+                        +! ("dct_t".%((v "k" *! i 8) +! v "r")
+                           *! "blk".%((v "k" *! i 8) +! v "c")));
+                    ];
+                  sto "tmp" ((v "r" *! i 8) +! v "c") (v "acc");
+                ];
+            ];
+        ];
+      (* coef = (tmp . dct_t) >> 14 *)
+      proc "mm_tmp_t" []
+        [
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "acc" (i 0);
+                  for_ "k" (i 0) (i 8)
+                    [
+                      set "acc"
+                        (v "acc"
+                        +! ("tmp".%((v "r" *! i 8) +! v "k")
+                           *! "dct_t".%((v "k" *! i 8) +! v "c")));
+                    ];
+                  sto "coef" ((v "r" *! i 8) +! v "c")
+                    ((v "acc" +! i 2048) >>>! i 12);
+                ];
+            ];
+        ];
+      (* Forward DCT of blk into coef; the intermediate product is not
+         shifted (exact), only the final stage rounds — matching the
+         host's matmul-then-shift pipeline. *)
+      proc "fwd_dct" [] [ call_ "mm_t_blk" []; call_ "mm_tmp_tt" [] ];
+      proc "inv_dct" [] [ call_ "mm_tt_blk" []; call_ "mm_tmp_t" [] ];
+      fn "clamp255" [ p_int "x" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          when_ (v "x" <! i 0) [ ret (i 0) ];
+          when_ (v "x" >! i 255) [ ret (i 255) ];
+          ret (v "x");
+        ];
+      (* Prediction for pixel [idx] of frame [fi] out of buffer [which]
+         (0 = recon, 1 = decoded). *)
+      fn "predict" [ p_int "fi"; p_int "idx"; p_int "which" ]
+        ~ret:(Some Mlang.Ast.TInt)
+        [
+          let_ "t" ("ftype".%(v "fi"));
+          when_ (v "t" ==! i 0) [ ret (i 0) ];
+          let_ "a" (i 0);
+          let_ "b" (i 0);
+          if_
+            (v "which" ==! i 0)
+            [
+              set "a" ("recon".%((("ref1".%(v "fi")) *! i frame_px) +! v "idx"));
+              set "b" ("recon".%((("ref2".%(v "fi")) *! i frame_px) +! v "idx"));
+            ]
+            [
+              set "a"
+                ("decoded".%((("ref1".%(v "fi")) *! i frame_px) +! v "idx"));
+              set "b"
+                ("decoded".%((("ref2".%(v "fi")) *! i frame_px) +! v "idx"));
+            ];
+          when_ (v "t" ==! i 1) [ ret (v "a") ];
+          ret ((v "a" +! v "b") /! i 2);
+        ];
+      proc "code_block" [ p_int "fi"; p_int "by"; p_int "bx" ]
+        [
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "idx" (((v "by" +! v "r") *! i frame_w) +! v "bx" +! v "c");
+                  let_ "p" (call "predict" [ v "fi"; v "idx"; i 0 ]);
+                  sto "pred" ((v "r" *! i 8) +! v "c") (v "p");
+                  sto "blk" ((v "r" *! i 8) +! v "c")
+                    ("frames_in".%((v "fi" *! i frame_px) +! v "idx") -! v "p");
+                ];
+            ];
+          call_ "fwd_dct" [];
+          (* quantize into coefs, dequantize into blk *)
+          for_ "k" (i 0) (i 64)
+            [
+              let_ "q" ("coef".%(v "k") /! i quant_step);
+              sto "coef" (v "k") (v "q" *! i quant_step);
+              sto "blk" (v "k") (v "q");
+            ];
+          (* stash quantized values: blk holds q, coef holds dq *)
+          for_ "k" (i 0) (i 64) [ sto "tmp" (v "k") ("blk".%(v "k")) ];
+          for_ "k" (i 0) (i 64) [ sto "blk" (v "k") ("coef".%(v "k")) ];
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "idx" (((v "by" +! v "r") *! i frame_w) +! v "bx" +! v "c");
+                  sto "coefs" ((v "fi" *! i frame_px) +! v "idx")
+                    ("tmp".%((v "r" *! i 8) +! v "c"));
+                ];
+            ];
+          call_ "inv_dct" [];
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "idx" (((v "by" +! v "r") *! i frame_w) +! v "bx" +! v "c");
+                  let_ "k" ((v "r" *! i 8) +! v "c");
+                  sto "recon" ((v "fi" *! i frame_px) +! v "idx")
+                    (call "clamp255" [ "coef".%(v "k") +! "pred".%(v "k") ]);
+                ];
+            ];
+        ];
+      proc "decode_block" [ p_int "fi"; p_int "by"; p_int "bx" ]
+        [
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "idx" (((v "by" +! v "r") *! i frame_w) +! v "bx" +! v "c");
+                  let_ "k" ((v "r" *! i 8) +! v "c");
+                  sto "pred" (v "k") (call "predict" [ v "fi"; v "idx"; i 1 ]);
+                  sto "blk" (v "k")
+                    ("coefs".%((v "fi" *! i frame_px) +! v "idx")
+                    *! i quant_step);
+                ];
+            ];
+          call_ "inv_dct" [];
+          for_ "r" (i 0) (i 8)
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  let_ "idx" (((v "by" +! v "r") *! i frame_w) +! v "bx" +! v "c");
+                  let_ "k" ((v "r" *! i 8) +! v "c");
+                  sto "decoded" ((v "fi" *! i frame_px) +! v "idx")
+                    (call "clamp255" [ "coef".%(v "k") +! "pred".%(v "k") ]);
+                ];
+            ];
+        ];
+      proc "encode" []
+        [
+          for_ "ci" (i 0) (i n_frames)
+            [
+              let_ "fi" ("corder".%(v "ci"));
+              call_ "code_block" [ v "fi"; i 0; i 0 ];
+              call_ "code_block" [ v "fi"; i 0; i 8 ];
+              call_ "code_block" [ v "fi"; i 8; i 0 ];
+              call_ "code_block" [ v "fi"; i 8; i 8 ];
+            ];
+        ];
+      proc "decode" []
+        [
+          for_ "ci" (i 0) (i n_frames)
+            [
+              let_ "fi" ("corder".%(v "ci"));
+              call_ "decode_block" [ v "fi"; i 0; i 0 ];
+              call_ "decode_block" [ v "fi"; i 0; i 8 ];
+              call_ "decode_block" [ v "fi"; i 8; i 0 ];
+              call_ "decode_block" [ v "fi"; i 8; i 8 ];
+            ];
+        ];
+      fn ~eligible:false "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [ call_ "encode" []; call_ "decode" []; ret (i 0) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let frame_of array fi = Array.sub array (fi * frame_px) frame_px
+
+let loss_thresholds = [| 2.0; 4.0; 6.0 |]  (* indexed by ftype: I, P, B *)
+
+(* % of frames whose decoded quality (vs. the original input) dropped
+   more than the type-specific threshold below the fault-free decode. *)
+let pct_bad_frames ~(original : int array) ~(golden_dec : int array)
+    ~(dec : int array) =
+  let bad = ref 0 in
+  for fi = 0 to n_frames - 1 do
+    let orig = frame_of original fi in
+    let gold_snr = Fidelity.Snr.snr_db orig (frame_of golden_dec fi) in
+    let got_snr = Fidelity.Snr.snr_db orig (frame_of dec fi) in
+    if gold_snr -. got_snr > loss_thresholds.(ftype.(fi)) then incr bad
+  done;
+  100.0 *. float_of_int !bad /. float_of_int n_frames
+
+let build ~seed : App.built =
+  let video =
+    Workloads.Image_gen.video ~seed ~width:frame_w ~height:frame_h
+      ~frames:n_frames
+  in
+  let frames =
+    Array.concat
+      (List.map (fun im -> im.Workloads.Image_gen.pixels) video)
+  in
+  let prog = Mlang.Compile.to_ir (mlang_program frames) in
+  let expected_coefs, expected_recon, expected_dec = host_codec frames in
+  let score ~(golden : Sim.Interp.result) (r : Sim.Interp.result) =
+    pct_bad_frames ~original:frames
+      ~golden_dec:(App.out_ints golden prog "decoded")
+      ~dec:(App.out_ints r prog "decoded")
+  in
+  let host_check (r : Sim.Interp.result) =
+    if App.out_ints r prog "coefs" <> expected_coefs then
+      Error "mpeg: coefficients differ from host reference"
+    else if App.out_ints r prog "recon" <> expected_recon then
+      Error "mpeg: reconstruction differs from host reference"
+    else if App.out_ints r prog "decoded" <> expected_dec then
+      Error "mpeg: decode differs from host reference"
+    else Ok ()
+  in
+  {
+    App.app_name = "mpeg";
+    prog;
+    fidelity_name = "% bad frames";
+    fidelity_units = "%";
+    higher_is_better = false;
+    threshold = Some 10.0;
+    score;
+    host_check;
+  }
+
+let app : App.t =
+  {
+    App.name = "mpeg";
+    description =
+      "MPEG-style video codec (I/P/B frames, 8x8 integer DCT, closed-loop \
+       encoder + decoder); fidelity = % bad frames (type-weighted SNR loss)";
+    source = "derived from the MPEG-2 reference structure (paper: SPEC/\
+              mediabench-style MPEG)";
+    build;
+  }

@@ -1,0 +1,16 @@
+(* All benchmark applications, in the paper's Table 1 order. *)
+
+let all : App.t list =
+  [
+    Susan.app;
+    Mpeg.app;
+    Mcf.app;
+    Blowfish.app;
+    Adpcm.app;
+    Gsm.app;
+    Art.app;
+  ]
+
+let find name = List.find_opt (fun (a : App.t) -> a.App.name = name) all
+
+let names = List.map (fun (a : App.t) -> a.App.name) all

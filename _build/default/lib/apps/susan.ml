@@ -1,0 +1,151 @@
+(* Susan (MiBench): SUSAN-principle edge detection. Each pixel's USAN
+   area is accumulated through a brightness-similarity LUT over a
+   37-pixel circular mask; the edge response is g - n where g is the
+   geometric threshold. Fidelity is PSNR between the corrupted and
+   fault-free response maps (paper threshold: 10 dB).
+
+   As in the original C (which indexes the LUT with unsigned chars),
+   LUT indices are masked into range, so corrupted *data* cannot
+   become a wild address — the property that makes Susan the paper's
+   most error-tolerant benchmark. *)
+
+let width = 32
+let height = 32
+let brightness_threshold = 20.0
+let mask_count = 37
+let g_threshold = 3 * mask_count * 100 / 4  (* 2775, as in SUSAN *)
+
+(* 37-point circular mask (radius ~3.4), nucleus included: the offsets
+   (dx, dy) with dx^2 + dy^2 <= 11 — exactly SUSAN's digital circle. *)
+let mask_radius2 = 11
+
+let mask_offsets =
+  List.concat_map
+    (fun dy ->
+      List.filter_map
+        (fun dx ->
+          if (dx * dx) + (dy * dy) <= mask_radius2 then Some (dx, dy) else None)
+        [ -3; -2; -1; 0; 1; 2; 3 ])
+    [ -3; -2; -1; 0; 1; 2; 3 ]
+
+let () = assert (List.length mask_offsets = mask_count)
+
+(* Brightness-similarity LUT, c(diff) = 100 * exp(-(diff/t)^6),
+   indexed by (diff + 256) & 511. *)
+let similarity_lut =
+  Array.init 512 (fun k ->
+      let diff = float_of_int (k - 256) /. brightness_threshold in
+      let c = 100.0 *. exp (-.(diff ** 6.0)) in
+      int_of_float (Float.round c))
+
+let flat_offsets =
+  Array.of_list (List.map (fun (dx, dy) -> (dy * width) + dx) mask_offsets)
+
+(* ------------------------------------------------------------------ *)
+(* Host reference implementation.                                      *)
+
+let host_edges (pixels : int array) : int array =
+  let resp = Array.make (width * height) 0 in
+  for y = 3 to height - 4 do
+    for x = 3 to width - 4 do
+      let p = (y * width) + x in
+      let cen = pixels.(p) in
+      let n = ref 0 in
+      Array.iter
+        (fun off ->
+          let diff = pixels.(p + off) - cen in
+          n := !n + similarity_lut.((diff + 256) land 511))
+        flat_offsets;
+      if !n < g_threshold then
+        resp.(p) <- (g_threshold - !n) * 255 / g_threshold
+    done
+  done;
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* The Mlang program.                                                  *)
+
+let mlang_program (pixels : int array) : Mlang.Ast.program =
+  let open Mlang.Dsl in
+  let g = g_threshold in
+  program
+    [
+      garray_init_b "img" (App.ints_of_array pixels);
+      garray_init_b "lut" (App.ints_of_array similarity_lut);
+      garray_b "resp" (width * height);
+    ]
+    [
+      proc "susan_edges" []
+        [
+          for_ "y" (i 3)
+            (i (height - 3))
+            [
+              for_ "x" (i 3)
+                (i (width - 3))
+                [
+                  let_ "p" ((v "y" *! i width) +! v "x");
+                  let_ "cen" ("img".%(v "p"));
+                  let_ "n" (i 0);
+                  for_ "dy" (i (-3)) (i 4)
+                    [
+                      for_ "dx" (i (-3)) (i 4)
+                        [
+                          when_
+                            (((v "dx" *! v "dx") +! (v "dy" *! v "dy"))
+                            <=! i mask_radius2)
+                            [
+                              let_ "diff"
+                                ("img".%(v "p" +! (v "dy" *! i width) +! v "dx")
+                                -! v "cen");
+                              set "n"
+                                (v "n"
+                                +! "lut".%((v "diff" +! i 256) &! i 511));
+                            ];
+                        ];
+                    ];
+                  when_
+                    (v "n" <! i g)
+                    [ sto "resp" (v "p") ((i g -! v "n") *! i 255 /! i g) ];
+                ];
+            ];
+        ];
+      fn ~eligible:false "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [ call_ "susan_edges" []; ret (i 0) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let build ~seed : App.built =
+  let img = Workloads.Image_gen.scene ~seed ~width ~height in
+  let prog = Mlang.Compile.to_ir (mlang_program img.Workloads.Image_gen.pixels) in
+  let expected = host_edges img.Workloads.Image_gen.pixels in
+  let score ~(golden : Sim.Interp.result) (r : Sim.Interp.result) =
+    Fidelity.Psnr.psnr_db
+      (App.out_ints golden prog "resp")
+      (App.out_ints r prog "resp")
+  in
+  let host_check (r : Sim.Interp.result) =
+    if App.out_ints r prog "resp" = expected then Ok ()
+    else Error "susan: edge map differs from host reference"
+  in
+  {
+    App.app_name = "susan";
+    prog;
+    fidelity_name = "PSNR";
+    fidelity_units = "dB";
+    higher_is_better = true;
+    threshold = Some 10.0;
+    score;
+    host_check;
+  }
+
+let app : App.t =
+  {
+    App.name = "susan";
+    description =
+      "SUSAN-principle edge detection over a synthetic scene; fidelity = \
+       PSNR of the edge-response map against the fault-free map (>= 10 dB \
+       acceptable)";
+    source = "MiBench";
+    build;
+  }

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Fault_model Hashtbl Ir List Outcome Policy Random Sim Tagging

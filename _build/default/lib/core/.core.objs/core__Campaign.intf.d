@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Ir Outcome Policy Random Sim Tagging

@@ -1,0 +1,1 @@
+lib/core/fault_model.ml: Hashtbl Random Sim

@@ -1,0 +1,1 @@
+lib/core/fault_model.mli: Hashtbl Random Sim

@@ -1,0 +1,1 @@
+lib/core/tagging.ml: Analysis Array Hashtbl Ir List Option Policy

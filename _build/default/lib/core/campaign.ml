@@ -1,0 +1,119 @@
+(* Fault-injection campaigns: the experimental loop of the paper.
+
+   A [target] bundles a compiled program with its tagging analysis and
+   a fault-free baseline run per policy. Each trial draws a fresh plan
+   (deterministically from [seed] and the trial number), executes, and
+   classifies the outcome. "Infinite execution" is a dynamic count
+   above [timeout_factor] x the fault-free count. *)
+
+type target = {
+  code : Sim.Code.t;
+  tagging : Tagging.t;
+  baseline : Sim.Interp.result;  (* fault-free reference run *)
+  lenient : bool;                (* sim-safe sparse-memory model *)
+}
+
+type prepared = {
+  target : target;
+  policy : Policy.t;
+  tags : bool array array;
+  injectable_total : int;  (* dynamic injectable instructions under policy *)
+  budget : int;
+}
+
+type trial = {
+  index : int;
+  outcome : Outcome.t;
+  faults_requested : int;
+  faults_landed : int;
+}
+
+type summary = {
+  trials : trial list;
+  n : int;
+  crashes : int;
+  infinite : int;
+  completed : int;
+}
+
+let timeout_factor = 10
+
+(* [lenient] defaults to true: the paper ran on SimpleScalar sim-safe,
+   whose sparse memory does not fault wild accesses. *)
+let of_prog ?protect_addresses ?(lenient = true) (prog : Ir.Prog.t) =
+  let code = Sim.Code.of_prog prog in
+  let tagging = Tagging.compute ?protect_addresses prog in
+  let baseline = Sim.Interp.run_exn ~count_exec:true code in
+  { code; tagging; baseline; lenient }
+
+let prepare (t : target) (policy : Policy.t) =
+  let tags = Tagging.mask t.tagging policy in
+  (* Profiling pass: count dynamic injectable instructions. *)
+  let injection = Fault_model.profiling_injection ~tags in
+  let r = Sim.Interp.run ~injection t.code in
+  let injectable_total =
+    match r.Sim.Interp.outcome with
+    | Sim.Interp.Done _ -> r.Sim.Interp.injectable_seen
+    | _ -> failwith "profiling run failed"
+  in
+  {
+    target = t;
+    policy;
+    tags;
+    injectable_total;
+    budget = timeout_factor * t.baseline.Sim.Interp.dyn_count;
+  }
+
+let run_trial (p : prepared) ~errors ~rng ~index : trial =
+  let plan =
+    Fault_model.make_plan ~rng ~injectable_total:p.injectable_total ~errors
+  in
+  let injection = Fault_model.injection ~tags:p.tags ~plan in
+  let r =
+    Sim.Interp.run ~injection ~lenient:p.target.lenient ~budget:p.budget
+      p.target.code
+  in
+  {
+    index;
+    outcome = Outcome.of_result r;
+    faults_requested = errors;
+    faults_landed = r.Sim.Interp.faults_landed;
+  }
+
+let run (p : prepared) ~errors ~trials ~seed : summary =
+  let results = ref [] in
+  for i = 0 to trials - 1 do
+    let rng = Random.State.make [| seed; i; errors; Hashtbl.hash p.policy |] in
+    results := run_trial p ~errors ~rng ~index:i :: !results
+  done;
+  let trials_list = List.rev !results in
+  let count f = List.length (List.filter f trials_list) in
+  {
+    trials = trials_list;
+    n = List.length trials_list;
+    crashes =
+      count (fun t -> match t.outcome with Outcome.Crash _ -> true | _ -> false);
+    infinite = count (fun t -> t.outcome = Outcome.Infinite);
+    completed =
+      count (fun t ->
+          match t.outcome with Outcome.Completed _ -> true | _ -> false);
+  }
+
+let pct_catastrophic (s : summary) =
+  if s.n = 0 then 0.0
+  else 100.0 *. float_of_int (s.crashes + s.infinite) /. float_of_int s.n
+
+(* Fidelity of completed trials, via an application-supplied scorer on
+   the final memory image. *)
+let fidelities (s : summary) ~(score : Sim.Interp.result -> float) =
+  List.filter_map
+    (fun t ->
+      match t.outcome with
+      | Outcome.Completed r -> Some (score r)
+      | Outcome.Crash _ | Outcome.Infinite -> None)
+    s.trials
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -1,0 +1,66 @@
+(** Fault-injection campaigns: the experimental loop of the paper.
+
+    Typical use:
+    {[
+      let target = Campaign.of_prog prog in
+      let prepared = Campaign.prepare target Policy.Protect_control in
+      let summary = Campaign.run prepared ~errors:20 ~trials:40 ~seed:7 in
+      Campaign.pct_catastrophic summary
+    ]} *)
+
+type target = {
+  code : Sim.Code.t;
+  tagging : Tagging.t;
+  baseline : Sim.Interp.result;  (** fault-free run, with exec counts *)
+  lenient : bool;  (** sim-safe sparse-memory model for injected runs *)
+}
+
+type prepared = {
+  target : target;
+  policy : Policy.t;
+  tags : bool array array;
+  injectable_total : int;
+      (** dynamic executions of injectable instructions (profiling) *)
+  budget : int;  (** timeout bound: 10x the fault-free dynamic count *)
+}
+
+type trial = {
+  index : int;
+  outcome : Outcome.t;
+  faults_requested : int;
+  faults_landed : int;
+}
+
+type summary = {
+  trials : trial list;
+  n : int;
+  crashes : int;
+  infinite : int;
+  completed : int;
+}
+
+val timeout_factor : int
+
+val of_prog :
+  ?protect_addresses:bool -> ?lenient:bool -> Ir.Prog.t -> target
+(** Compile, tag and run the fault-free baseline. [lenient] defaults to
+    [true] — the SimpleScalar sim-safe memory model the paper used. *)
+
+val prepare : target -> Policy.t -> prepared
+(** Profiling pass: count injectable dynamic instructions under the
+    policy. *)
+
+val run_trial :
+  prepared -> errors:int -> rng:Random.State.t -> index:int -> trial
+
+val run : prepared -> errors:int -> trials:int -> seed:int -> summary
+(** Deterministic: trial [i] uses an RNG derived from
+    [(seed, i, errors, policy)]. *)
+
+val pct_catastrophic : summary -> float
+
+val fidelities : summary -> score:(Sim.Interp.result -> float) -> float list
+(** Scores of the completed trials only. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on the empty list. *)

@@ -1,0 +1,32 @@
+(* Single-bit-upset fault model (paper Section 4, "Error Insertion").
+
+   A plan places [errors] single bit flips uniformly at random over the
+   dynamic executions of injectable instructions, as counted by a
+   profiling run. Ordinals are drawn without replacement (the paper
+   inserts a fixed number of distinct errors per run); the bit position
+   is uniform over the destination's width — we draw in [0, 64) and the
+   interpreter folds it onto 32 bits for integer destinations, which
+   keeps the per-bit distribution uniform for both banks. *)
+
+type plan = (int, int) Hashtbl.t
+
+let make_plan ~rng ~injectable_total ~errors : plan =
+  let plan = Hashtbl.create (max errors 1) in
+  if injectable_total > 0 then begin
+    let wanted = min errors injectable_total in
+    (* Rejection sampling: fine because errors << injectable_total in
+       every experiment (paper rates are ~10^-5 per instruction). *)
+    while Hashtbl.length plan < wanted do
+      let ordinal = Random.State.int rng injectable_total in
+      if not (Hashtbl.mem plan ordinal) then
+        Hashtbl.replace plan ordinal (Random.State.int rng 64)
+    done
+  end;
+  plan
+
+let injection ~tags ~plan : Sim.Interp.injection = { Sim.Interp.tags; plan }
+
+(* An empty plan under real tags: the profiling configuration that
+   counts injectable dynamic instructions without perturbing anything. *)
+let profiling_injection ~tags : Sim.Interp.injection =
+  { Sim.Interp.tags; plan = Hashtbl.create 1 }

@@ -1,0 +1,17 @@
+(** Single-bit-upset fault model (paper Section 4): a fixed number of
+    bit flips placed uniformly at random, without replacement, over the
+    dynamic executions of injectable instructions. *)
+
+type plan = (int, int) Hashtbl.t
+(** injectable-instruction ordinal -> bit position (0..63; folded onto
+    0..31 for integer destinations by the interpreter) *)
+
+val make_plan :
+  rng:Random.State.t -> injectable_total:int -> errors:int -> plan
+(** Draws [min errors injectable_total] distinct ordinals. *)
+
+val injection : tags:bool array array -> plan:plan -> Sim.Interp.injection
+
+val profiling_injection : tags:bool array array -> Sim.Interp.injection
+(** Empty plan under real tags: counts injectable dynamic instructions
+    without perturbing anything. *)

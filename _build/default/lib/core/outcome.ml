@@ -1,0 +1,25 @@
+(* Classification of an injected run (paper Section 5: "catastrophic
+   failures (infinite runs or crashes)" versus completed runs, which
+   are then scored by the application's fidelity measure). *)
+
+type t =
+  | Crash of Sim.Trap.t
+  | Infinite  (* exceeded the dynamic-instruction budget *)
+  | Completed of Sim.Interp.result
+
+let of_result (r : Sim.Interp.result) =
+  match r.Sim.Interp.outcome with
+  | Sim.Interp.Trapped t -> Crash t
+  | Sim.Interp.Timeout -> Infinite
+  | Sim.Interp.Done _ -> Completed r
+
+let is_catastrophic = function
+  | Crash _ | Infinite -> true
+  | Completed _ -> false
+
+let to_string = function
+  | Crash t -> "crash: " ^ Sim.Trap.to_string t
+  | Infinite -> "infinite execution"
+  | Completed _ -> "completed"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,13 @@
+(** Classification of an injected run (paper Section 5): catastrophic
+    failures are crashes and "infinite" executions; completed runs are
+    scored by the application's fidelity measure. *)
+
+type t =
+  | Crash of Sim.Trap.t
+  | Infinite  (** exceeded the dynamic-instruction budget *)
+  | Completed of Sim.Interp.result
+
+val of_result : Sim.Interp.result -> t
+val is_catastrophic : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

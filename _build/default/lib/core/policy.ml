@@ -1,0 +1,15 @@
+(* Protection policies compared in the paper's evaluation. *)
+
+type t =
+  | Protect_control   (* the paper's proposal: static analysis ON *)
+  | Protect_nothing   (* static analysis OFF: every result injectable *)
+  | Protect_all       (* everything protected: no injection possible *)
+
+let to_string = function
+  | Protect_control -> "protect-control"
+  | Protect_nothing -> "protect-nothing"
+  | Protect_all -> "protect-all"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all = [ Protect_control; Protect_nothing; Protect_all ]

@@ -1,0 +1,14 @@
+(** Protection policies compared in the paper's evaluation. *)
+
+type t =
+  | Protect_control
+      (** the paper's proposal: only tagged (low-reliability)
+          instructions are injectable *)
+  | Protect_nothing
+      (** static analysis OFF: every value-producing instruction is
+          injectable *)
+  | Protect_all  (** everything protected: no injection possible *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val all : t list

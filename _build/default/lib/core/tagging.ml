@@ -1,0 +1,257 @@
+(* The paper's static analysis (Section 3).
+
+   Backwards over each function, we maintain CVar — the set of
+   registers "likely to influence control flow" — and tag every
+   value-producing instruction whose destination is not in CVar as
+   LOW-RELIABILITY: its result may be corrupted without (statically
+   provable) risk to control. The rest is CRITICAL and assumed
+   protected by the architecture.
+
+   Rules, following the paper:
+   - branch operands enter CVar; branches themselves are control;
+   - a definition of a register in CVar removes it and inserts the
+     instruction's uses (the Def-Use chain walk of the paper's
+     worked example);
+   - a load terminates the chain: the loaded value's provenance is
+     memory and is not tracked (in the paper's example, LD empties
+     CVar); a *stored value* likewise escapes untracked — the paper
+     performs no memory disambiguation, and this is exactly its
+     documented residual failure mode (Table 2, "with protection");
+   - [protect_addresses] (default true, the companion work's
+     "control and address" treatment) additionally pulls every load/
+     store base register into CVar: a corrupted address is a wild
+     access. The paper's Section 3 rules alone correspond to
+     [protect_addresses:false]; the ablation experiment quantifies
+     the difference;
+   - calls use interprocedural summaries: which formal parameters
+     (transitively) influence control inside the callee, and whether
+     the caller consumes the return value in a control-influencing
+     way; summaries are iterated to a fixpoint over the call graph;
+   - only functions the programmer marked eligible are analyzed;
+     ineligible functions are fully protected and all their formals
+     are treated as control-critical.
+
+   The result is deliberately conservative in the same places the
+   paper is, so the simulator reproduces both the protection (near-zero
+   catastrophic failures) and the leak-through-memory residual. *)
+
+module RS = Ir.Reg.Set
+
+type summary = {
+  mutable ret_critical : bool;
+  mutable critical_params : bool array;
+}
+
+type t = {
+  prog : Ir.Prog.t;
+  order : string list;
+  protect_addresses : bool;
+  (* true = low-reliability / injectable; indexed like the body *)
+  low_rel : (string, bool array) Hashtbl.t;
+  summaries : (string, summary) Hashtbl.t;
+}
+
+module B = Analysis.Dataflow.Backward (Analysis.Dataflow.Reg_set_domain)
+
+(* One intraprocedural pass under the current summaries. Mutates
+   summaries of callees (monotonically) when new demands appear;
+   returns the CVar set at function entry. *)
+let analyze_func ~protect_addresses (f : Ir.Func.t) ~(get : string -> summary)
+    =
+  let self = get f.Ir.Func.name in
+  let cfg = Ir.Cfg.build f in
+  let transfer _i (instr : Ir.Instr.t) cvar =
+    let add = List.fold_left (fun acc r -> RS.add r acc) in
+    match instr with
+    | Br (_, a, b, _) -> RS.add a (RS.add b cvar)
+    | Brz (_, a, _) -> RS.add a cvar
+    | Jmp _ | Label _ | Nop -> cvar
+    | Ret None -> cvar
+    | Ret (Some r) -> if self.ret_critical then RS.add r cvar else cvar
+    | Lw (d, base, _) | Lb (d, base, _) | Lwf (d, base, _) ->
+      (* The loaded value's provenance is memory: untracked — the
+         chain terminates here, exactly as in the paper's worked
+         example (LD empties CVar). Under address protection the base
+         register is pulled into CVar instead of being dropped. *)
+      let cvar = RS.remove d cvar in
+      if protect_addresses then RS.add base cvar else cvar
+    | Sw (_, base, _) | Sb (_, base, _) | Swf (_, base, _) ->
+      (* The stored value escapes to memory untracked (the paper's
+         "no memory disambiguation" residual failure mode). *)
+      if protect_addresses then RS.add base cvar else cvar
+    | Call { dst; func = g; args } ->
+      let gsum = get g in
+      (if (match dst with Some d -> RS.mem d cvar | None -> false) then
+         gsum.ret_critical <- true);
+      let cvar =
+        match dst with Some d -> RS.remove d cvar | None -> cvar
+      in
+      let cvar =
+        List.fold_left
+          (fun acc (k, a) ->
+            if k < Array.length gsum.critical_params && gsum.critical_params.(k)
+            then RS.add a acc
+            else acc)
+          cvar
+          (List.mapi (fun k a -> (k, a)) args)
+      in
+      cvar
+    | Li (d, _) | Lf (d, _) | La (d, _) ->
+      RS.remove d cvar
+    | Mov (d, s) ->
+      if RS.mem d cvar then RS.add s (RS.remove d cvar) else cvar
+    | Bin (_, d, a, b) | Cmp (_, d, a, b) | Fbin (_, d, a, b)
+    | Fcmp (_, d, a, b) ->
+      if RS.mem d cvar then add (RS.remove d cvar) [ a; b ] else cvar
+    | Bini (_, d, a, _) | Fun_ (_, d, a) | I2f (d, a) | F2i (d, a) ->
+      if RS.mem d cvar then RS.add a (RS.remove d cvar) else cvar
+  in
+  let result = B.solve cfg ~exit_state:RS.empty ~transfer in
+  (* Low-reliability marks: def exists and is outside CVar-after. *)
+  let low = Array.make (Array.length f.Ir.Func.body) false in
+  B.iter_instrs cfg result ~transfer (fun i instr cvar_after ->
+      match Ir.Instr.def instr with
+      | Some d -> low.(i) <- not (RS.mem d cvar_after)
+      | None -> ());
+  (result.B.live_in.(0), low)
+
+let compute ?(protect_addresses = true) (prog : Ir.Prog.t) =
+  let funcs = Ir.Prog.funcs prog in
+  let summaries = Hashtbl.create 16 in
+  let get name =
+    match Hashtbl.find_opt summaries name with
+    | Some s -> s
+    | None ->
+      let f = Ir.Prog.get_func prog name in
+      let nparams = List.length f.Ir.Func.params in
+      let s =
+        if f.Ir.Func.eligible then
+          { ret_critical = false; critical_params = Array.make nparams false }
+        else
+          (* Fully protected function: treat every formal as critical
+             so callers protect what they pass in. *)
+          { ret_critical = false; critical_params = Array.make nparams true }
+      in
+      Hashtbl.replace summaries name s;
+      s
+  in
+  let low_rel = Hashtbl.create 16 in
+  (* Ineligible functions: nothing injectable. *)
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      ignore (get f.Ir.Func.name);
+      if not f.Ir.Func.eligible then
+        Hashtbl.replace low_rel f.Ir.Func.name
+          (Array.make (Array.length f.Ir.Func.body) false))
+    funcs;
+  (* The entry point's return value leaves the program (exit status):
+     treat it as critical so top-level control chains are protected. *)
+  (get prog.Ir.Prog.entry).ret_critical <- true;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Ir.Func.t) ->
+        if f.Ir.Func.eligible then begin
+          let self = get f.Ir.Func.name in
+          let before_ret = self.ret_critical in
+          let snapshot =
+            Hashtbl.fold
+              (fun n s acc ->
+                (n, s.ret_critical, Array.copy s.critical_params) :: acc)
+              summaries []
+          in
+          let entry_cvar, low = analyze_func ~protect_addresses f ~get in
+          Hashtbl.replace low_rel f.Ir.Func.name low;
+          (* Entry CVar ∩ formals → critical parameters. *)
+          List.iteri
+            (fun k p ->
+              if RS.mem p entry_cvar && not self.critical_params.(k) then begin
+                self.critical_params.(k) <- true;
+                changed := true
+              end)
+            f.Ir.Func.params;
+          if self.ret_critical <> before_ret then changed := true;
+          (* Any callee summary mutated during the pass re-triggers. *)
+          List.iter
+            (fun (n, rc, cp) ->
+              let s = get n in
+              if s.ret_critical <> rc || s.critical_params <> cp then
+                changed := true)
+            snapshot
+        end)
+      funcs
+  done;
+  {
+    prog;
+    order = List.map (fun (f : Ir.Func.t) -> f.Ir.Func.name) funcs;
+    protect_addresses;
+    low_rel;
+    summaries;
+  }
+
+let low_reliability t name = Hashtbl.find_opt t.low_rel name
+
+let summary t name = Hashtbl.find_opt t.summaries name
+
+(* Injectability masks per function, in program declaration order —
+   index-aligned with [Sim.Code.of_prog]'s function ids. *)
+let mask t (policy : Policy.t) : bool array array =
+  let funcs = Ir.Prog.funcs t.prog in
+  Array.of_list
+    (List.map
+       (fun (f : Ir.Func.t) ->
+         let n = Array.length f.Ir.Func.body in
+         match policy with
+         | Policy.Protect_all -> Array.make n false
+         | Policy.Protect_nothing ->
+           Array.init n (fun i -> Ir.Instr.def f.Ir.Func.body.(i) <> None)
+         | Policy.Protect_control ->
+           (match Hashtbl.find_opt t.low_rel f.Ir.Func.name with
+            | Some a -> Array.copy a
+            | None -> Array.make n false))
+       funcs)
+
+(* Static fraction of instructions tagged low-reliability, over
+   instructions that produce a value. *)
+let static_stats t =
+  let tagged = ref 0 and producing = ref 0 and total = ref 0 in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      let low =
+        Option.value
+          ~default:(Array.make (Array.length f.Ir.Func.body) false)
+          (low_reliability t f.Ir.Func.name)
+      in
+      Array.iteri
+        (fun i instr ->
+          (match instr with Ir.Instr.Label _ -> () | _ -> incr total);
+          if Ir.Instr.def instr <> None then begin
+            incr producing;
+            if low.(i) then incr tagged
+          end)
+        f.Ir.Func.body)
+    (Ir.Prog.funcs t.prog);
+  (`Tagged !tagged, `Producing !producing, `Total !total)
+
+(* Dynamic fraction (paper Table 3): given per-instruction execution
+   counts from a profiled run, the share of dynamic instructions whose
+   static instruction was tagged low-reliability. *)
+let dynamic_low_fraction t (exec_counts : int array array) =
+  let funcs = Array.of_list (Ir.Prog.funcs t.prog) in
+  let tagged = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun fid counts ->
+      let f = funcs.(fid) in
+      let low =
+        Option.value
+          ~default:(Array.make (Array.length f.Ir.Func.body) false)
+          (low_reliability t f.Ir.Func.name)
+      in
+      Array.iteri
+        (fun i c ->
+          total := !total + c;
+          if low.(i) then tagged := !tagged + c)
+        counts)
+    exec_counts;
+  if !total = 0 then 0.0 else float_of_int !tagged /. float_of_int !total

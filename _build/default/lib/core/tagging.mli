@@ -1,0 +1,56 @@
+(** The paper's static analysis (Section 3): backward interprocedural
+    CVar dataflow that tags every value-producing instruction whose
+    result cannot (statically) influence control flow as
+    LOW-RELIABILITY — eligible to run on unprotected hardware.
+
+    Two rule sets are provided:
+    - [protect_addresses:false] — the paper's Section 3 verbatim: a
+      load terminates the def-use chain and address registers do not
+      enter CVar;
+    - [protect_addresses:true] (default) — additionally treats every
+      load/store base register as control-critical, the "control and
+      address" treatment of the authors' companion work. *)
+
+type summary = {
+  mutable ret_critical : bool;
+      (** some caller consumes the return value in a control-
+          influencing way *)
+  mutable critical_params : bool array;
+      (** per formal: does it (transitively) reach control inside the
+          function? *)
+}
+
+type t = {
+  prog : Ir.Prog.t;
+  order : string list;
+  protect_addresses : bool;
+  low_rel : (string, bool array) Hashtbl.t;
+  summaries : (string, summary) Hashtbl.t;
+}
+
+val compute : ?protect_addresses:bool -> Ir.Prog.t -> t
+(** Run the analysis to fixpoint over the whole program. Ineligible
+    functions ([Ir.Func.eligible = false]) are fully protected and
+    their formals treated as critical. *)
+
+val low_reliability : t -> string -> bool array option
+(** Per-body-index low-reliability marks for a function; [true] means
+    the instruction's result may be corrupted. *)
+
+val summary : t -> string -> summary option
+
+val mask : t -> Policy.t -> bool array array
+(** Injectability masks per function, index-aligned with
+    [Sim.Code.of_prog]'s function ids: [Protect_control] exposes the
+    tagged instructions, [Protect_nothing] every value-producing
+    instruction, [Protect_all] nothing. *)
+
+val static_stats :
+  t -> [ `Tagged of int ] * [ `Producing of int ] * [ `Total of int ]
+(** Static counts: tagged instructions, value-producing instructions,
+    and all instructions (labels excluded). *)
+
+val dynamic_low_fraction : t -> int array array -> float
+(** Fraction of *dynamic* instructions whose static instruction is
+    tagged, given per-instruction execution counts from a profiled run
+    (paper Table 3). *)

@@ -1,0 +1,1 @@
+lib/fidelity/byte_match.ml: Array

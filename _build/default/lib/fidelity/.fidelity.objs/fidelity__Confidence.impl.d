@@ -1,0 +1,1 @@
+lib/fidelity/confidence.ml: Float

@@ -1,0 +1,1 @@
+lib/fidelity/psnr.ml: Array Float

@@ -1,0 +1,1 @@
+lib/fidelity/schedule.ml: Array

@@ -1,0 +1,1 @@
+lib/fidelity/snr.ml: Array Float

@@ -1,0 +1,23 @@
+(* Percentage of positions whose values match exactly — Blowfish's "%
+   bytes correct from original" and ADPCM's "% similarity" measures
+   (paper Table 1). *)
+
+let pct_equal a b =
+  if Array.length a <> Array.length b then invalid_arg "byte_match: length";
+  if Array.length a = 0 then 100.0
+  else begin
+    let same = ref 0 in
+    Array.iteri (fun i x -> if x = b.(i) then incr same) a;
+    100.0 *. float_of_int !same /. float_of_int (Array.length a)
+  end
+
+(* Tolerant variant for codecs whose reconstruction is only close:
+   positions within [tol] count as matching. *)
+let pct_close ~tol a b =
+  if Array.length a <> Array.length b then invalid_arg "byte_match: length";
+  if Array.length a = 0 then 100.0
+  else begin
+    let same = ref 0 in
+    Array.iteri (fun i x -> if abs (x - b.(i)) <= tol then incr same) a;
+    100.0 *. float_of_int !same /. float_of_int (Array.length a)
+  end

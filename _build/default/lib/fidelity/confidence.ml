@@ -1,0 +1,17 @@
+(* ART fidelity (paper Table 1: "error in confidence of match";
+   Figure 6: "% images recognized"). A scan is recognized when it
+   picks the same window and category as the fault-free run; the
+   confidence error quantifies degradation of the match strength. *)
+
+type scan = {
+  best_window : int;
+  best_category : int;
+  confidence : float;
+}
+
+let recognized ~golden ~observed =
+  golden.best_window = observed.best_window
+  && golden.best_category = observed.best_category
+
+let confidence_error ~golden ~observed =
+  Float.abs (golden.confidence -. observed.confidence)

@@ -1,0 +1,25 @@
+(* Peak signal-to-noise ratio between two equal-length integer images,
+   the ImageMagick-comparison substitute used for Susan (paper Table 1:
+   fidelity threshold 10 dB PSNR). *)
+
+let cap_db = 99.0  (* reported for identical images *)
+
+let mse a b =
+  if Array.length a <> Array.length b then invalid_arg "psnr: length mismatch";
+  if Array.length a = 0 then invalid_arg "psnr: empty image";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = float_of_int (x - b.(i)) in
+      acc := !acc +. (d *. d))
+    a;
+  !acc /. float_of_int (Array.length a)
+
+let psnr_db ?(peak = 255.0) a b =
+  let m = mse a b in
+  if m = 0.0 then cap_db
+  else
+    let v = 10.0 *. log10 (peak *. peak /. m) in
+    Float.min v cap_db
+
+let meets_threshold ?peak ~threshold_db a b = psnr_db ?peak a b >= threshold_db

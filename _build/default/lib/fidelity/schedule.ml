@@ -1,0 +1,57 @@
+(* Fidelity of a min-cost-flow schedule (paper Table 1: MCF, "% extra
+   time in schedule"; Figure 3: "% optimal schedules found").
+
+   A schedule is judged against the known-optimal cost and checked for
+   feasibility: the required amount shipped, capacities respected, and
+   flow conserved. Incorrect schedules in the paper were "not just
+   inoptimal, but incomplete" — [Infeasible] captures that. *)
+
+type verdict =
+  | Optimal
+  | Suboptimal of float  (* % extra cost over optimal *)
+  | Infeasible
+
+type instance = {
+  n_nodes : int;
+  arcs : (int * int * int * int) array;  (* from, to, capacity, cost *)
+  source : int;
+  sink : int;
+  supply : int;
+}
+
+let check (inst : instance) ~(optimal_cost : int) ~(flows : int array)
+    ~(reported_cost : int) : verdict =
+  if Array.length flows <> Array.length inst.arcs then Infeasible
+  else begin
+    let balance = Array.make inst.n_nodes 0 in
+    let ok = ref true in
+    let actual_cost = ref 0 in
+    Array.iteri
+      (fun i (u, v, cap, cost) ->
+        let f = flows.(i) in
+        if f < 0 || f > cap then ok := false
+        else begin
+          balance.(u) <- balance.(u) - f;
+          balance.(v) <- balance.(v) + f;
+          actual_cost := !actual_cost + (f * cost)
+        end)
+      inst.arcs;
+    Array.iteri
+      (fun node b ->
+        let want =
+          if node = inst.source then -inst.supply
+          else if node = inst.sink then inst.supply
+          else 0
+        in
+        if b <> want then ok := false)
+      balance;
+    if (not !ok) || reported_cost <> !actual_cost then Infeasible
+    else if !actual_cost = optimal_cost then Optimal
+    else
+      Suboptimal
+        (100.0
+        *. float_of_int (!actual_cost - optimal_cost)
+        /. float_of_int (max optimal_cost 1))
+  end
+
+let is_optimal = function Optimal -> true | Suboptimal _ | Infeasible -> false

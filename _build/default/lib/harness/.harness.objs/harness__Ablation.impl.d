@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Apps Array Core Experiment Int32 List Mlang Printf Sim Tablefmt

@@ -1,0 +1,1 @@
+lib/harness/cost_model.ml: Apps Core Experiment List Printf Sim Tablefmt

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Apps Core Hashtbl List Sim

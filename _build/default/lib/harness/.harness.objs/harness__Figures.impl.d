@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Apps Core Experiment Float List Printf Tablefmt

@@ -1,0 +1,1 @@
+lib/harness/table3.ml: Apps Core Experiment List Sim Tablefmt

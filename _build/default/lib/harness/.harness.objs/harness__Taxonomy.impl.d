@@ -1,0 +1,1 @@
+lib/harness/taxonomy.ml: Apps Core Experiment Float List Printf Tablefmt

@@ -1,0 +1,84 @@
+(* Shared experiment context: each application built once per seed,
+   with campaign targets under both tagging modes and prepared
+   injection configurations per policy.
+
+   Mode vocabulary (see DESIGN.md and EXPERIMENTS.md):
+   - [Full]: control + address protection (the companion work's
+     treatment; reproduces Table 2's near-zero protected failures);
+   - [Literal]: the paper's Section-3 rules verbatim — loads terminate
+     def-use chains and addresses are not pulled into CVar (reproduces
+     Table 3's large low-reliability fractions). *)
+
+type mode =
+  | Full
+  | Literal
+
+let mode_name = function Full -> "full" | Literal -> "literal"
+
+type loaded = {
+  app : Apps.App.t;
+  built : Apps.App.built;
+  golden : Sim.Interp.result;
+  target : mode -> Core.Campaign.target;
+  prepared : mode -> Core.Policy.t -> Core.Campaign.prepared;
+}
+
+let memo f =
+  let tbl = Hashtbl.create 4 in
+  fun k ->
+    match Hashtbl.find_opt tbl k with
+    | Some v -> v
+    | None ->
+      let v = f k in
+      Hashtbl.replace tbl k v;
+      v
+
+let load ?(seed = 1) (app : Apps.App.t) : loaded =
+  let built = app.Apps.App.build ~seed in
+  let target =
+    memo (fun mode ->
+        Core.Campaign.of_prog
+          ~protect_addresses:(mode = Full)
+          built.Apps.App.prog)
+  in
+  let prepared =
+    memo (fun (mode, policy) -> Core.Campaign.prepare (target mode) policy)
+  in
+  let golden = (target Full).Core.Campaign.baseline in
+  { app; built; golden; target; prepared = (fun m p -> prepared (m, p)) }
+
+let load_all ?seed () = List.map (load ?seed) Apps.Registry.all
+
+(* Catastrophic-failure percentage for one cell of Table 2. *)
+let pct_catastrophic (l : loaded) ~mode ~policy ~errors ~trials ~seed =
+  let p = l.prepared mode policy in
+  Core.Campaign.pct_catastrophic (Core.Campaign.run p ~errors ~trials ~seed)
+
+(* Fidelity summary of a sweep point: mean fidelity over completed
+   trials plus the catastrophic percentage. *)
+type sweep_point = {
+  errors : int;
+  n : int;
+  pct_failed : float;
+  mean_fidelity : float;  (* nan when no trial completed *)
+  fidelities : float list;
+}
+
+let sweep_point (l : loaded) ~mode ~policy ~errors ~trials ~seed : sweep_point
+    =
+  let p = l.prepared mode policy in
+  let s = Core.Campaign.run p ~errors ~trials ~seed in
+  let score r = l.built.Apps.App.score ~golden:l.golden r in
+  let fidelities = Core.Campaign.fidelities s ~score in
+  {
+    errors;
+    n = s.Core.Campaign.n;
+    pct_failed = Core.Campaign.pct_catastrophic s;
+    mean_fidelity = Core.Campaign.mean fidelities;
+    fidelities;
+  }
+
+let sweep (l : loaded) ~mode ~policy ~errors_list ~trials ~seed =
+  List.map
+    (fun errors -> sweep_point l ~mode ~policy ~errors ~trials ~seed)
+    errors_list

@@ -1,0 +1,142 @@
+(* Paper Figures 1-6: fidelity and failure rate versus the number of
+   errors inserted. Each figure is a set of sweeps over one
+   application; series are printed as text tables (one row per error
+   count).
+
+   Sweeps run under the Literal tagging mode (the paper's Section-3
+   rules): its injectable pool has the same composition as the paper's
+   — dominated by mid-chain arithmetic whose corruption perturbs
+   results gently — and the figures' own "Failures" series corresponds
+   to the residual catastrophic rate that mode exhibits. Axes follow
+   the paper's figures. *)
+
+type series = {
+  label : string;
+  points : Experiment.sweep_point list;
+}
+
+type result = {
+  id : string;
+  title : string;
+  fidelity_name : string;
+  series : series list;
+}
+
+let find loaded name =
+  List.find
+    (fun (l : Experiment.loaded) -> l.Experiment.app.Apps.App.name = name)
+    loaded
+
+let fig1 ?(trials = 20) ?(seed = 21) loaded : result =
+  let l = find loaded "susan" in
+  let errors_list = [ 0; 100; 550; 920; 1100; 1550; 2300 ] in
+  let s policy label =
+    {
+      label;
+      points =
+        Experiment.sweep l ~mode:Experiment.Literal ~policy ~errors_list
+          ~trials ~seed;
+    }
+  in
+  {
+    id = "fig1";
+    title = "Figure 1: Susan — PSNR of edge map vs errors inserted";
+    fidelity_name = "PSNR (dB); threshold 10 dB";
+    series =
+      [
+        s Core.Policy.Protect_control "analysis ON";
+        s Core.Policy.Protect_nothing "analysis OFF";
+      ];
+  }
+
+let one_series_fig ~id ~title ~fidelity_name ~app ~errors_list ?(trials = 20)
+    ?(seed = 23) loaded : result =
+  let l = find loaded app in
+  {
+    id;
+    title;
+    fidelity_name;
+    series =
+      [
+        {
+          label = "analysis ON";
+          points =
+            Experiment.sweep l ~mode:Experiment.Literal
+              ~policy:Core.Policy.Protect_control ~errors_list ~trials ~seed;
+        };
+      ];
+  }
+
+let fig2 ?trials ?seed loaded =
+  one_series_fig ~id:"fig2"
+    ~title:"Figure 2: MPEG — % bad frames and % failed runs vs errors"
+    ~fidelity_name:"% bad frames (threshold 10%)" ~app:"mpeg"
+    ~errors_list:[ 0; 50; 150; 300; 500 ]
+    ?trials ?seed loaded
+
+let fig3 ?trials ?seed loaded =
+  one_series_fig ~id:"fig3"
+    ~title:"Figure 3: MCF — % optimal schedules and % failed runs vs errors"
+    ~fidelity_name:"schedule quality (100 = optimal)" ~app:"mcf"
+    ~errors_list:[ 0; 1; 5; 20; 50; 150; 300 ]
+    ?trials ?seed loaded
+
+let fig4 ?trials ?seed loaded =
+  one_series_fig ~id:"fig4"
+    ~title:"Figure 4: Blowfish — % bytes correct and % failed runs vs errors"
+    ~fidelity_name:"% bytes correct" ~app:"blowfish"
+    ~errors_list:[ 0; 5; 10; 20; 30; 40 ]
+    ?trials ?seed loaded
+
+let fig5 ?trials ?seed loaded =
+  one_series_fig ~id:"fig5"
+    ~title:"Figure 5: GSM — % SNR from optimal and % failed runs vs errors"
+    ~fidelity_name:"% SNR from optimal" ~app:"gsm"
+    ~errors_list:[ 0; 5; 10; 20; 30; 40 ]
+    ?trials ?seed loaded
+
+let fig6 ?(trials = 40) ?seed loaded =
+  one_series_fig ~id:"fig6"
+    ~title:"Figure 6: ART — % images recognized and % failed runs vs errors"
+    ~fidelity_name:"% recognized" ~app:"art"
+    ~errors_list:[ 0; 1; 2; 3; 4 ]
+    ~trials ?seed loaded
+
+let all ?trials ?seed loaded =
+  [
+    fig1 ?trials ?seed loaded;
+    fig2 ?trials ?seed loaded;
+    fig3 ?trials ?seed loaded;
+    fig4 ?trials ?seed loaded;
+    fig5 ?trials ?seed loaded;
+    fig6 ?trials ?seed loaded;
+  ]
+
+let render (r : result) : string =
+  let errors_axis =
+    match r.series with
+    | [] -> []
+    | s :: _ -> List.map (fun p -> p.Experiment.errors) s.points
+  in
+  let headers =
+    "errors"
+    :: List.concat_map
+         (fun s ->
+           [ s.label ^ ": fidelity"; s.label ^ ": % failed" ])
+         r.series
+  in
+  let fmt_fid x = if Float.is_nan x then "n/a (all failed)" else Printf.sprintf "%.1f" x in
+  let rows =
+    List.mapi
+      (fun i errors ->
+        string_of_int errors
+        :: List.concat_map
+             (fun s ->
+               let p = List.nth s.points i in
+               [ fmt_fid p.Experiment.mean_fidelity;
+                 Tablefmt.pct p.Experiment.pct_failed ])
+             r.series)
+      errors_axis
+  in
+  Tablefmt.render ~title:(r.title ^ "  [" ^ r.fidelity_name ^ "]") ~headers
+    rows

@@ -1,0 +1,42 @@
+(* Plain-text table rendering for experiment output. *)
+
+let render ~title ~headers (rows : string list list) : string =
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line ch =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths)
+    ^ "+"
+  in
+  let fmt_row row =
+    "|"
+    ^ String.concat "|"
+        (List.mapi
+           (fun c cell ->
+             let w = List.nth widths c in
+             Printf.sprintf " %-*s " w cell)
+           (List.init ncols (fun c ->
+                Option.value ~default:"" (List.nth_opt row c))))
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (line '-' ^ "\n");
+  Buffer.add_string buf (fmt_row headers ^ "\n");
+  Buffer.add_string buf (line '=' ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (fmt_row r ^ "\n")) rows;
+  Buffer.add_string buf (line '-');
+  Buffer.contents buf
+
+let pct x = Printf.sprintf "%.1f%%" x
+let db x = Printf.sprintf "%.1f dB" x
+let count n = string_of_int n

@@ -1,0 +1,73 @@
+(* Outcome taxonomy of injected faults, the classic fault-injection
+   breakdown the paper's data implies but never tabulates:
+
+   - benign: the run completed with output indistinguishable from the
+     fault-free run (the fault was masked by the application);
+   - degraded: completed, but the fidelity measure moved — a silent
+     data corruption the application tolerates by design;
+   - catastrophic: crash or infinite execution.
+
+   Computed per application at a fixed error count under
+   [Protect_control]; a benign trial is one whose fidelity equals the
+   golden run's self-score (within epsilon). *)
+
+type row = {
+  app_name : string;
+  errors : int;
+  n : int;
+  pct_benign : float;
+  pct_degraded : float;
+  pct_catastrophic : float;
+}
+
+let epsilon = 1e-9
+
+let run ?(errors = 10) ?(trials = 30) ?(seed = 41)
+    ~(mode : Experiment.mode) (loaded : Experiment.loaded list) : row list =
+  List.map
+    (fun (l : Experiment.loaded) ->
+      let p = l.Experiment.prepared mode Core.Policy.Protect_control in
+      let s = Core.Campaign.run p ~errors ~trials ~seed in
+      let golden = l.Experiment.golden in
+      let self_score =
+        l.Experiment.built.Apps.App.score ~golden golden
+      in
+      let fidelities =
+        Core.Campaign.fidelities s ~score:(fun r ->
+            l.Experiment.built.Apps.App.score ~golden r)
+      in
+      let benign =
+        List.length
+          (List.filter (fun f -> Float.abs (f -. self_score) < epsilon) fidelities)
+      in
+      let completed = List.length fidelities in
+      let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 s.Core.Campaign.n) in
+      {
+        app_name = l.Experiment.app.Apps.App.name;
+        errors;
+        n = s.Core.Campaign.n;
+        pct_benign = pct benign;
+        pct_degraded = pct (completed - benign);
+        pct_catastrophic = Core.Campaign.pct_catastrophic s;
+      })
+    loaded
+
+let render ~(mode : Experiment.mode) rows =
+  let errors = match rows with [] -> 0 | r :: _ -> r.errors in
+  Tablefmt.render
+    ~title:
+      (Printf.sprintf
+         "Fault outcome taxonomy at %d errors (protection ON, %s tagging): \
+          benign / degraded / catastrophic"
+         errors
+         (Experiment.mode_name mode))
+    ~headers:[ "app"; "% benign (masked)"; "% degraded"; "% catastrophic" ]
+    (List.map
+       (fun r ->
+         [
+           r.app_name;
+           Tablefmt.pct r.pct_benign;
+           Tablefmt.pct r.pct_degraded;
+           Tablefmt.pct r.pct_catastrophic;
+         ])
+       rows)

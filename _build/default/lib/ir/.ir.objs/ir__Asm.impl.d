@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Buffer Format Func Instr Int32 List Option Printf Prog Reg String Ty

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Format Hashtbl Instr List Printf Reg Ty

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Format Func Hashtbl Int32 List Printf Ty

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format Func Instr List Printf Prog Reg Ty

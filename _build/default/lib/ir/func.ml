@@ -1,0 +1,94 @@
+(* A function: a linear body of instructions plus metadata.
+
+   [eligible] records the programmer's judgement that the function's
+   data may tolerate error (paper, Section 4): only eligible functions
+   are considered by the tagging analysis; everything in an ineligible
+   function is protected. *)
+
+type t = {
+  name : string;
+  params : Reg.t list;
+  ret : Ty.t option;
+  body : Instr.t array;
+  labels : (string, int) Hashtbl.t;  (* label -> body index *)
+  n_int_regs : int;
+  n_flt_regs : int;
+  eligible : bool;
+}
+
+exception Invalid of string
+
+let invalidf fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let scan_registers body params =
+  let max_int_reg = ref (-1) and max_flt_reg = ref (-1) in
+  let see r =
+    match r with
+    | Reg.Int i -> if i > !max_int_reg then max_int_reg := i
+    | Reg.Flt i -> if i > !max_flt_reg then max_flt_reg := i
+  in
+  List.iter see params;
+  Array.iter
+    (fun i ->
+      (match Instr.def i with Some d -> see d | None -> ());
+      List.iter see (Instr.uses i))
+    body;
+  (!max_int_reg + 1, !max_flt_reg + 1)
+
+let build_labels name body =
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun idx instr ->
+      match instr with
+      | Instr.Label l ->
+        if Hashtbl.mem labels l then
+          invalidf "function %s: duplicate label %s" name l;
+        Hashtbl.replace labels l idx
+      | _ -> ())
+    body;
+  labels
+
+let check_targets name body labels =
+  Array.iter
+    (fun instr ->
+      match Instr.branch_target instr with
+      | Some l when not (Hashtbl.mem labels l) ->
+        invalidf "function %s: undefined label %s" name l
+      | Some _ | None -> ())
+    body
+
+let make ?(eligible = true) ~name ~params ~ret body =
+  let body = Array.of_list body in
+  let labels = build_labels name body in
+  check_targets name body labels;
+  let n_int_regs, n_flt_regs = scan_registers body params in
+  { name; params; ret; body; labels; n_int_regs; n_flt_regs; eligible }
+
+let label_index t l =
+  match Hashtbl.find_opt t.labels l with
+  | Some i -> i
+  | None -> invalidf "function %s: undefined label %s" t.name l
+
+let length t = Array.length t.body
+
+let pp fmt t =
+  let pp_param fmt r =
+    Format.fprintf fmt "%a:%a" Reg.pp r Ty.pp (Ty.of_reg r)
+  in
+  Format.fprintf fmt "@[<v>func %s(%a)%s%s:@,"
+    t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_param)
+    t.params
+    (match t.ret with
+     | None -> ""
+     | Some ty -> " -> " ^ Ty.to_string ty)
+    (if t.eligible then "" else "  ; protected");
+  Array.iter
+    (fun i ->
+      match i with
+      | Instr.Label _ -> Format.fprintf fmt "%a@," Instr.pp i
+      | _ -> Format.fprintf fmt "  %a@," Instr.pp i)
+    t.body;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,38 @@
+(* Virtual registers. Each function owns two unbounded banks, one for
+   32-bit integers and one for IEEE-754 doubles, mirroring the MIPS
+   integer/FP split the paper's analysis operates on. *)
+
+type t =
+  | Int of int
+  | Flt of int
+
+let int i =
+  assert (i >= 0);
+  Int i
+
+let flt i =
+  assert (i >= 0);
+  Flt i
+
+let is_int = function Int _ -> true | Flt _ -> false
+let is_flt = function Flt _ -> true | Int _ -> false
+
+let index = function Int i -> i | Flt i -> i
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Int i -> Printf.sprintf "$r%d" i
+  | Flt i -> Printf.sprintf "$f%d" i
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,32 @@
+(** Virtual registers of the MIPS-like IR.
+
+    A register is either an integer register ([$rN], holding a 32-bit
+    two's-complement value) or a floating-point register ([$fN], holding
+    an IEEE-754 double). Register numbers are per-function and
+    unbounded; the simulator sizes each frame from the function's
+    declared register counts. *)
+
+type t =
+  | Int of int  (** integer register [$rN] *)
+  | Flt of int  (** floating-point register [$fN] *)
+
+val int : int -> t
+(** [int i] is integer register [$ri]. Raises [Assert_failure] on
+    negative [i]. *)
+
+val flt : int -> t
+(** [flt i] is floating-point register [$fi]. *)
+
+val is_int : t -> bool
+val is_flt : t -> bool
+
+val index : t -> int
+(** Bank-local index of the register. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

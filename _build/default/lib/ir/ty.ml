@@ -1,0 +1,14 @@
+(* Value types of the IR: 32-bit integers and IEEE-754 doubles, plus
+   unsigned bytes for global array *elements* only (registers always
+   hold i32 or f64; byte loads zero-extend). *)
+
+type t =
+  | I32
+  | F64
+  | I8
+
+let equal (a : t) (b : t) = a = b
+let to_string = function I32 -> "i32" | F64 -> "f64" | I8 -> "u8"
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let of_reg r = if Reg.is_int r then I32 else F64

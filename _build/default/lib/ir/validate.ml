@@ -1,0 +1,139 @@
+(* IR well-formedness checker: register-bank typing of every
+   instruction, call-site arity/typing against callee signatures,
+   global references, returns against the function signature, and
+   structural rules (no fall-through off the end of a function). *)
+
+type error = {
+  func : string;
+  index : int;  (* body index, or -1 for signature-level errors *)
+  message : string;
+}
+
+let errorf func index fmt =
+  Printf.ksprintf (fun message -> { func; index; message }) fmt
+
+let pp_error fmt e =
+  Format.fprintf fmt "%s[%d]: %s" e.func e.index e.message
+
+let check_func (prog : Prog.t) (f : Func.t) : error list =
+  let errs = ref [] in
+  let err i fmt = Printf.ksprintf (fun m -> errs := { func = f.Func.name; index = i; message = m } :: !errs) fmt in
+  let want_int i what r =
+    if not (Reg.is_int r) then err i "%s must be an integer register, got %s" what (Reg.to_string r)
+  and want_flt i what r =
+    if not (Reg.is_flt r) then err i "%s must be a float register, got %s" what (Reg.to_string r)
+  in
+  let same_bank i a b =
+    if Reg.is_int a <> Reg.is_int b then err i "operands in different banks"
+  in
+  Array.iteri
+    (fun i (instr : Instr.t) ->
+      match instr with
+      | Li (d, _) -> want_int i "li dst" d
+      | Lf (d, _) -> want_flt i "lf dst" d
+      | La (d, g) ->
+        want_int i "la dst" d;
+        if Prog.find_global prog g = None then err i "unknown global %s" g
+      | Mov (d, s) -> same_bank i d s
+      | Bin (_, d, a, b) ->
+        want_int i "alu dst" d;
+        want_int i "alu src1" a;
+        want_int i "alu src2" b
+      | Bini (_, d, a, _) ->
+        want_int i "alui dst" d;
+        want_int i "alui src" a
+      | Cmp (_, d, a, b) ->
+        want_int i "cmp dst" d;
+        want_int i "cmp src1" a;
+        want_int i "cmp src2" b
+      | Fbin (_, d, a, b) ->
+        want_flt i "fpu dst" d;
+        want_flt i "fpu src1" a;
+        want_flt i "fpu src2" b
+      | Fun_ (_, d, s) ->
+        want_flt i "fpu dst" d;
+        want_flt i "fpu src" s
+      | Fcmp (_, d, a, b) ->
+        want_int i "fcmp dst" d;
+        want_flt i "fcmp src1" a;
+        want_flt i "fcmp src2" b
+      | I2f (d, s) ->
+        want_flt i "i2f dst" d;
+        want_int i "i2f src" s
+      | F2i (d, s) ->
+        want_int i "f2i dst" d;
+        want_flt i "f2i src" s
+      | Lw (d, b, o) ->
+        want_int i "lw dst" d;
+        want_int i "lw base" b;
+        if o mod 4 <> 0 then err i "unaligned constant offset %d" o
+      | Sw (v, b, o) ->
+        want_int i "sw src" v;
+        want_int i "sw base" b;
+        if o mod 4 <> 0 then err i "unaligned constant offset %d" o
+      | Lb (d, b, _) ->
+        want_int i "lbu dst" d;
+        want_int i "lbu base" b
+      | Sb (v, b, _) ->
+        want_int i "sb src" v;
+        want_int i "sb base" b
+      | Lwf (d, b, o) ->
+        want_flt i "lwf dst" d;
+        want_int i "lwf base" b;
+        if o mod 4 <> 0 then err i "unaligned constant offset %d" o
+      | Swf (v, b, o) ->
+        want_flt i "swf src" v;
+        want_int i "swf base" b;
+        if o mod 4 <> 0 then err i "unaligned constant offset %d" o
+      | Br (_, a, b, _) ->
+        want_int i "branch src1" a;
+        want_int i "branch src2" b
+      | Brz (_, a, _) -> want_int i "branch src" a
+      | Jmp _ | Label _ | Nop -> ()
+      | Call { dst; func; args } -> begin
+        match Prog.find_func prog func with
+        | None -> err i "call to unknown function %s" func
+        | Some callee ->
+          let formals = callee.Func.params in
+          if List.length formals <> List.length args then
+            err i "call to %s: arity mismatch (%d formals, %d actuals)" func
+              (List.length formals) (List.length args)
+          else
+            List.iter2
+              (fun formal actual ->
+                if Reg.is_int formal <> Reg.is_int actual then
+                  err i "call to %s: argument bank mismatch" func)
+              formals args;
+          match (dst, callee.Func.ret) with
+          | None, _ -> ()
+          | Some _, None -> err i "call to %s: no return value" func
+          | Some d, Some ty ->
+            if not (Ty.equal (Ty.of_reg d) ty) then
+              err i "call to %s: return bank mismatch" func
+      end
+      | Ret v -> begin
+        match (v, f.Func.ret) with
+        | None, None -> ()
+        | None, Some _ -> err i "ret without value in non-void function"
+        | Some _, None -> err i "ret with value in void function"
+        | Some r, Some ty ->
+          if not (Ty.equal (Ty.of_reg r) ty) then err i "ret bank mismatch"
+      end)
+    f.Func.body;
+  let n = Array.length f.Func.body in
+  (if n = 0 then errs := errorf f.Func.name (-1) "empty body" :: !errs
+   else
+     match f.Func.body.(n - 1) with
+     | Instr.Ret _ | Instr.Jmp _ -> ()
+     | _ -> errs := errorf f.Func.name (n - 1) "control falls off function end" :: !errs);
+  List.rev !errs
+
+let check (prog : Prog.t) : error list =
+  List.concat_map (check_func prog) (Prog.funcs prog)
+
+exception Invalid of error list
+
+let check_exn prog =
+  match check prog with
+  | [] -> ()
+  | errs -> raise (Invalid errs)

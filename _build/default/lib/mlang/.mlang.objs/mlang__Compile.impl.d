@@ -1,0 +1,1 @@
+lib/mlang/compile.ml: Ast Ir Lower Opt Typecheck

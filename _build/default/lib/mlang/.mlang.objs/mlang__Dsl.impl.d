@@ -1,0 +1,1 @@
+lib/mlang/dsl.ml: Array Ast

@@ -1,0 +1,1 @@
+lib/mlang/lexer.ml: List Printf String

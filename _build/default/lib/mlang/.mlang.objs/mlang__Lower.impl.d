@@ -1,0 +1,1 @@
+lib/mlang/lower.ml: Ast Int32 Ir List Map Option Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/mlang/opt.ml: Analysis Array Fun Ir List

@@ -1,0 +1,1 @@
+lib/mlang/parser.ml: Array Ast Compile Format Int32 Ir Lexer List Printf

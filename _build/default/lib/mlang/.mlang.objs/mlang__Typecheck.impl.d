@@ -1,0 +1,1 @@
+lib/mlang/typecheck.ml: Array Ast Hashtbl Int32 List Map Printf String

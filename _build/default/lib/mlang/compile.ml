@@ -1,0 +1,9 @@
+(* Front door of the Mlang compiler: typecheck, lower, optimize,
+   validate. *)
+
+let to_ir ?(optimize = true) (p : Ast.program) : Ir.Prog.t =
+  Typecheck.check_program p;
+  let prog = Lower.lower_program p in
+  let prog = if optimize then Opt.run prog else prog in
+  Ir.Validate.check_exn prog;
+  prog

@@ -1,0 +1,93 @@
+(* IR-level cleanup passes run after lowering: dead-code elimination
+   driven by liveness, plus a trivial peephole (self-moves, dead
+   labels are kept — labels are structural). Iterates to a fixpoint.
+
+   Only provably effect-free instructions are removed: memory
+   operations, calls, control flow, and trapping arithmetic
+   (div/rem/f2i) always survive. *)
+
+let pure (i : Ir.Instr.t) =
+  match i with
+  | Li _ | Lf _ | La _ | Mov _ | Cmp _ | Fbin _ | Fun_ _ | Fcmp _ | I2f _ ->
+    true
+  | Bin (op, _, _, _) | Bini (op, _, _, _) -> (
+    match op with
+    | Div | Rem -> false  (* may trap *)
+    | Add | Sub | Mul | And | Or | Xor | Sll | Srl | Sra -> true)
+  | F2i _  (* may trap *)
+  | Lw _ | Lb _ | Lwf _  (* may trap *)
+  | Sw _ | Sb _ | Swf _ | Br _ | Brz _ | Jmp _ | Call _ | Ret _ | Label _
+  | Nop ->
+    false
+
+(* One DCE pass; returns [None] when nothing was removed. *)
+let dce_once (f : Ir.Func.t) : Ir.Func.t option =
+  let cfg = Ir.Cfg.build f in
+  let live = Analysis.Liveness.compute cfg in
+  let live_after = Analysis.Liveness.live_after live in
+  let keep = Array.make (Array.length f.Ir.Func.body) true in
+  let removed = ref 0 in
+  Array.iteri
+    (fun i instr ->
+      let dead =
+        match Ir.Instr.def instr with
+        | Some d -> pure instr && not (Ir.Reg.Set.mem d live_after.(i))
+        | None -> (match instr with Ir.Instr.Nop -> true | _ -> false)
+      in
+      let self_move =
+        match instr with
+        | Ir.Instr.Mov (d, s) -> Ir.Reg.equal d s
+        | _ -> false
+      in
+      if dead || self_move then begin
+        keep.(i) <- false;
+        incr removed
+      end)
+    f.Ir.Func.body;
+  if !removed = 0 then None
+  else begin
+    let body = ref [] in
+    Array.iteri
+      (fun i instr -> if keep.(i) then body := instr :: !body)
+      f.Ir.Func.body;
+    Some
+      (Ir.Func.make ~eligible:f.Ir.Func.eligible ~name:f.Ir.Func.name
+         ~params:f.Ir.Func.params ~ret:f.Ir.Func.ret (List.rev !body))
+  end
+
+(* Drop blocks unreachable from the entry (e.g. the safety epilogue
+   after a returning body). Whole blocks disappear, including their
+   labels: a label is only a target if its block is reachable. *)
+let remove_unreachable (f : Ir.Func.t) : Ir.Func.t =
+  let cfg = Ir.Cfg.build f in
+  let n = Ir.Cfg.n_blocks cfg in
+  let reachable = Array.make n false in
+  let rec dfs b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter dfs (Ir.Cfg.block cfg b).Ir.Cfg.succs
+    end
+  in
+  if n > 0 then dfs 0;
+  if Array.for_all Fun.id reachable then f
+  else begin
+    let body = ref [] in
+    Array.iteri
+      (fun i instr ->
+        if reachable.(Ir.Cfg.block_of_index cfg i) then body := instr :: !body)
+      f.Ir.Func.body;
+    Ir.Func.make ~eligible:f.Ir.Func.eligible ~name:f.Ir.Func.name
+      ~params:f.Ir.Func.params ~ret:f.Ir.Func.ret (List.rev !body)
+  end
+
+let dce_func (f : Ir.Func.t) : Ir.Func.t =
+  let rec go f n =
+    if n = 0 then f
+    else match dce_once f with None -> f | Some f' -> go f' (n - 1)
+  in
+  go (remove_unreachable f) 10
+  (* convergence bound; each pass strictly shrinks the body *)
+
+let run (prog : Ir.Prog.t) : Ir.Prog.t =
+  let funcs = List.map dce_func (Ir.Prog.funcs prog) in
+  Ir.Prog.make ~entry:prog.Ir.Prog.entry ~globals:prog.Ir.Prog.globals funcs

@@ -1,0 +1,228 @@
+(* Static semantics of Mlang. Scoping is lexical per block; locals are
+   introduced by [Decl] and may shadow outer locals. All checks raise
+   [Ast.Type_error] with a function-qualified message. *)
+
+open Ast
+module SM = Map.Make (String)
+
+type gsig = { g_ty : ty; g_byte : bool; g_size : int }
+type fsig = { f_params : ty list; f_ret : ty option }
+
+type ctx = {
+  globals : gsig SM.t;
+  funcs : fsig SM.t;
+  fname : string;        (* for error messages *)
+  f_ret_ty : ty option;
+}
+
+let err ctx fmt = Printf.ksprintf (fun s -> raise (Type_error (ctx.fname ^ ": " ^ s))) fmt
+
+let int_only_op = function
+  | Rem | BAnd | BOr | BXor | Shl | Shr | Ashr -> true
+  | Add | Sub | Mul | Div -> false
+
+let rec infer ctx (env : ty SM.t) (e : expr) : ty =
+  match e with
+  | Int _ -> TInt
+  | Flt _ -> TFlt
+  | Var x -> begin
+    match SM.find_opt x env with
+    | Some t -> t
+    | None -> err ctx "unbound variable %s" x
+  end
+  | Bin (op, a, b) ->
+    let ta = infer ctx env a and tb = infer ctx env b in
+    if ta <> tb then
+      err ctx "binary operator on mixed types (%s vs %s)" (string_of_ty ta)
+        (string_of_ty tb);
+    if ta = TFlt && int_only_op op then err ctx "integer-only operator on floats";
+    ta
+  | Cmp (_, a, b) ->
+    let ta = infer ctx env a and tb = infer ctx env b in
+    if ta <> tb then
+      err ctx "comparison on mixed types (%s vs %s)" (string_of_ty ta)
+        (string_of_ty tb);
+    TInt
+  | Neg a -> infer ctx env a
+  | Not a ->
+    if infer ctx env a <> TInt then err ctx "logical not on float";
+    TInt
+  | Load (g, idx) -> begin
+    if infer ctx env idx <> TInt then err ctx "array index must be int";
+    match SM.find_opt g ctx.globals with
+    | Some { g_ty; _ } -> g_ty
+    | None -> err ctx "unknown global array %s" g
+  end
+  | Call (f, args) -> begin
+    match SM.find_opt f ctx.funcs with
+    | None -> err ctx "call to unknown function %s" f
+    | Some { f_params; f_ret } ->
+      if List.length f_params <> List.length args then
+        err ctx "call to %s: expected %d arguments, got %d" f
+          (List.length f_params) (List.length args);
+      List.iteri
+        (fun k (want, arg) ->
+          let got = infer ctx env arg in
+          if got <> want then
+            err ctx "call to %s: argument %d is %s, expected %s" f k
+              (string_of_ty got) (string_of_ty want))
+        (List.combine f_params args);
+      (match f_ret with
+       | Some t -> t
+       | None -> err ctx "void call to %s used as a value" f)
+  end
+  | I2F a ->
+    if infer ctx env a <> TInt then err ctx "i2f of a float";
+    TFlt
+  | F2I a ->
+    if infer ctx env a <> TFlt then err ctx "f2i of an int";
+    TInt
+
+(* Checks a statement; returns the environment for the following
+   statement in the same block. *)
+let rec check_stmt ctx env ~in_loop (s : stmt) : ty SM.t =
+  match s with
+  | Decl (x, e) -> SM.add x (infer ctx env e) env
+  | Assign (x, e) -> begin
+    match SM.find_opt x env with
+    | None -> err ctx "assignment to undeclared variable %s" x
+    | Some t ->
+      let te = infer ctx env e in
+      if t <> te then
+        err ctx "assignment to %s: %s := %s" x (string_of_ty t) (string_of_ty te);
+      env
+  end
+  | Store (g, idx, value) -> begin
+    if infer ctx env idx <> TInt then err ctx "array index must be int";
+    match SM.find_opt g ctx.globals with
+    | None -> err ctx "store to unknown global %s" g
+    | Some { g_ty; _ } ->
+      let tv = infer ctx env value in
+      if tv <> g_ty then
+        err ctx "store to %s: element is %s, value is %s" g (string_of_ty g_ty)
+          (string_of_ty tv);
+      env
+  end
+  | If (cond, then_, else_) ->
+    if infer ctx env cond <> TInt then err ctx "condition must be int";
+    check_block ctx env ~in_loop then_;
+    check_block ctx env ~in_loop else_;
+    env
+  | While (cond, body) ->
+    if infer ctx env cond <> TInt then err ctx "condition must be int";
+    check_block ctx env ~in_loop:true body;
+    env
+  | For (x, lo, hi, body) ->
+    if infer ctx env lo <> TInt then err ctx "for bound must be int";
+    if infer ctx env hi <> TInt then err ctx "for bound must be int";
+    check_block ctx (SM.add x TInt env) ~in_loop:true body;
+    env
+  | Expr (Call (fname, _) as e) ->
+    (* Effectful expression statement: void calls are legal here. *)
+    (match SM.find_opt fname ctx.funcs with
+     | Some { f_ret = None; f_params } ->
+       (* Re-run the argument checks that [infer] would skip. *)
+       (match e with
+        | Call (_, args) ->
+          if List.length f_params <> List.length args then
+            err ctx "call to %s: arity mismatch" fname;
+          List.iteri
+            (fun k (want, arg) ->
+              let got = infer ctx env arg in
+              if got <> want then
+                err ctx "call to %s: argument %d is %s, expected %s" fname k
+                  (string_of_ty got) (string_of_ty want))
+            (List.combine f_params args)
+        | _ -> assert false)
+     | _ -> ignore (infer ctx env e));
+    env
+  | Expr e ->
+    ignore (infer ctx env e);
+    env
+  | Return None ->
+    if ctx.f_ret_ty <> None then err ctx "return without value";
+    env
+  | Return (Some e) -> begin
+    match ctx.f_ret_ty with
+    | None -> err ctx "return with value in void function"
+    | Some t ->
+      let te = infer ctx env e in
+      if t <> te then
+        err ctx "return type %s, expected %s" (string_of_ty te) (string_of_ty t);
+      env
+  end
+  | Break | Continue ->
+    if not in_loop then err ctx "break/continue outside loop";
+    env
+
+and check_block ctx env ~in_loop (body : stmt list) : unit =
+  ignore
+    (List.fold_left (fun env s -> check_stmt ctx env ~in_loop s) env body)
+
+(* Conservative all-paths-return check for non-void functions. *)
+let rec always_returns (body : stmt list) =
+  List.exists
+    (function
+      | Return _ -> true
+      | If (_, a, b) -> always_returns a && always_returns b
+      | _ -> false)
+    body
+
+let ctx_of_program (p : program) =
+  let globals =
+    List.fold_left
+      (fun m (g : global) ->
+        SM.add g.gname { g_ty = g.gty; g_byte = g.byte; g_size = g.size } m)
+      SM.empty p.globals
+  in
+  let funcs =
+    List.fold_left
+      (fun m (f : func) ->
+        SM.add f.name { f_params = List.map snd f.params; f_ret = f.ret } m)
+      SM.empty p.funcs
+  in
+  (globals, funcs)
+
+let check_program (p : program) =
+  let globals, funcs = ctx_of_program p in
+  (match List.find_opt (fun (f : func) -> f.name = p.entry) p.funcs with
+   | None -> raise (Type_error ("missing entry function " ^ p.entry))
+   | Some _ -> ());
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (g : global) ->
+      if Hashtbl.mem seen g.gname then
+        raise (Type_error ("duplicate global " ^ g.gname));
+      Hashtbl.replace seen g.gname ();
+      if g.byte && g.gty <> TInt then
+        raise (Type_error ("byte array must hold ints: " ^ g.gname));
+      (match g.init with
+       | GZero -> ()
+       | GInts a ->
+         if g.gty <> TInt || Array.length a > g.size then
+           raise (Type_error ("bad initializer for " ^ g.gname));
+         if g.byte then
+           Array.iter
+             (fun b ->
+               if Int32.compare b 0l < 0 || Int32.compare b 255l > 0 then
+                 raise (Type_error ("byte init out of range in " ^ g.gname)))
+             a
+       | GFlts a ->
+         if g.gty <> TFlt || Array.length a > g.size then
+           raise (Type_error ("bad initializer for " ^ g.gname))))
+    p.globals;
+  let fseen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : func) ->
+      if Hashtbl.mem fseen f.name then
+        raise (Type_error ("duplicate function " ^ f.name));
+      Hashtbl.replace fseen f.name ();
+      let ctx = { globals; funcs; fname = f.name; f_ret_ty = f.ret } in
+      let env =
+        List.fold_left (fun m (x, t) -> SM.add x t m) SM.empty f.params
+      in
+      check_block ctx env ~in_loop:false f.body;
+      if f.ret <> None && not (always_returns f.body) then
+        raise
+          (Type_error (f.name ^ ": non-void function may fall off the end")))
+    p.funcs

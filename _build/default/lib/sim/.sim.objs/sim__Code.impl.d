@@ -1,0 +1,1 @@
+lib/sim/code.ml: Array Hashtbl Ir List Value

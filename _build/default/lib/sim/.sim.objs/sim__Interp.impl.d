@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Code Float Hashtbl Ir Memory Printf Trap Value

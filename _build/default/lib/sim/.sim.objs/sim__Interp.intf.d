@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Code Hashtbl Memory Trap Value

@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Array Bytes Int32 Ir List Trap Value

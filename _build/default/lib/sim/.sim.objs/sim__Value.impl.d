@@ -1,0 +1,1 @@
+lib/sim/value.ml: Format Int32 Int64 Printf

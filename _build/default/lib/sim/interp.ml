@@ -1,0 +1,263 @@
+(* Functional simulator.
+
+   Executes a decoded [Code.t] image: no timing model, exact
+   architectural state, faithful trap semantics — the SimpleScalar
+   "sim-safe" role in the paper's methodology. The interpreter exposes
+   the paper's fault-injection hook: an [injection] carries a
+   per-instruction injectability mask (the tagging analysis output) and
+   a plan mapping ordinals *among dynamic executions of injectable
+   instructions* to bit positions. When execution reaches a planned
+   ordinal, the bit is flipped in the just-computed destination value
+   before write-back, and the corruption then propagates
+   architecturally. *)
+
+type injection = {
+  tags : bool array array;      (* fid -> body index -> injectable *)
+  plan : (int, int) Hashtbl.t;  (* injectable ordinal -> bit to flip *)
+}
+
+type outcome =
+  | Done of Value.t option
+  | Trapped of Trap.t
+  | Timeout
+
+type result = {
+  outcome : outcome;
+  dyn_count : int;          (* dynamic instructions executed *)
+  injectable_seen : int;    (* dynamic executions of injectable instructions *)
+  faults_landed : int;      (* plan entries actually applied *)
+  memory : Memory.t;
+  exec_counts : int array array;  (* fid -> body index -> executions *)
+}
+
+exception Timeout_exn
+
+let max_call_depth = 4096
+
+let sx32 = Value.sx32
+
+let binop_i (op : Ir.Instr.binop) a b =
+  match op with
+  | Add -> sx32 (a + b)
+  | Sub -> sx32 (a - b)
+  | Mul -> sx32 (a * b)
+  | Div ->
+    if b = 0 then raise (Trap.Error Trap.Division_by_zero) else sx32 (a / b)
+  | Rem ->
+    if b = 0 then raise (Trap.Error Trap.Division_by_zero) else sx32 (a mod b)
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Sll -> sx32 (a lsl (b land 31))
+  | Srl -> sx32 ((a land 0xFFFFFFFF) lsr (b land 31))
+  | Sra -> a asr (b land 31)
+
+let cmp_i (op : Ir.Instr.cmpop) a b =
+  match op with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let binop_f (op : Ir.Instr.fbinop) a b =
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b  (* IEEE: yields inf/nan, no trap *)
+
+let unop_f (op : Ir.Instr.funop) a =
+  match op with Fneg -> -.a | Fabs -> Float.abs a | Fsqrt -> Float.sqrt a
+
+let cmp_f (op : Ir.Instr.cmpop) (a : float) (b : float) =
+  match op with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let f2i (x : float) =
+  if Float.is_nan x || x >= 2147483648.0 || x < -2147483648.0 then
+    raise (Trap.Error (Trap.Float_to_int_overflow x));
+  int_of_float (Float.trunc x)
+
+let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
+    (code : Code.t) : result =
+  let memory = Memory.of_prog ?lenient code.Code.prog in
+  let dyn = ref 0 in
+  let inj_seen = ref 0 in
+  let landed = ref 0 in
+  let exec_counts =
+    Array.map
+      (fun (df : Code.dfunc) -> Array.make (Array.length df.Code.dbody) 0)
+      code.Code.funcs
+  in
+  let plan =
+    match injection with Some { plan; _ } -> plan | None -> Hashtbl.create 1
+  in
+  let rec call depth fid set_args : Value.t option =
+    if depth > max_call_depth then
+      raise (Trap.Error (Trap.Call_stack_overflow depth));
+    let df = code.Code.funcs.(fid) in
+    let iregs = Array.make (max df.Code.n_int 1) 0 in
+    let fregs = Array.make (max df.Code.n_flt 1) 0.0 in
+    set_args iregs fregs;
+    let body = df.Code.dbody in
+    let len = Array.length body in
+    let counts = exec_counts.(fid) in
+    let ftags =
+      match injection with Some { tags; _ } -> Some tags.(fid) | None -> None
+    in
+    (* Fault hook: called with the body index of the defining
+       instruction and the freshly computed value. *)
+    let inject_i pc v =
+      match ftags with
+      | None -> v
+      | Some tags ->
+        if Array.unsafe_get tags pc then begin
+          let ord = !inj_seen in
+          incr inj_seen;
+          match Hashtbl.find_opt plan ord with
+          | Some bit ->
+            incr landed;
+            Value.flip_int ~bit:(bit land 31) v
+          | None -> v
+        end
+        else v
+    in
+    let inject_f pc x =
+      match ftags with
+      | None -> x
+      | Some tags ->
+        if Array.unsafe_get tags pc then begin
+          let ord = !inj_seen in
+          incr inj_seen;
+          match Hashtbl.find_opt plan ord with
+          | Some bit ->
+            incr landed;
+            Value.flip_float ~bit:(bit land 63) x
+          | None -> x
+        end
+        else x
+    in
+    let rec loop pc : Value.t option =
+      if pc >= len then
+        (* The validator guarantees terminators, so this is only
+           reachable through interpreter bugs; fail loudly. *)
+        invalid_arg (Printf.sprintf "pc past end of %s" df.Code.name);
+      let d = Array.unsafe_get body pc in
+      (match d with
+       | Code.DNop -> ()
+       | _ ->
+         incr dyn;
+         if !dyn > budget then raise Timeout_exn;
+         if count_exec then counts.(pc) <- counts.(pc) + 1);
+      match d with
+      | Code.DNop -> loop (pc + 1)
+      | Code.DLi (d, v) ->
+        iregs.(d) <- inject_i pc v;
+        loop (pc + 1)
+      | Code.DLf (d, x) ->
+        fregs.(d) <- inject_f pc x;
+        loop (pc + 1)
+      | Code.DLa (d, addr) ->
+        iregs.(d) <- inject_i pc addr;
+        loop (pc + 1)
+      | Code.DMovI (d, s) ->
+        iregs.(d) <- inject_i pc iregs.(s);
+        loop (pc + 1)
+      | Code.DMovF (d, s) ->
+        fregs.(d) <- inject_f pc fregs.(s);
+        loop (pc + 1)
+      | Code.DBin (op, d, a, b) ->
+        iregs.(d) <- inject_i pc (binop_i op iregs.(a) iregs.(b));
+        loop (pc + 1)
+      | Code.DBini (op, d, a, n) ->
+        iregs.(d) <- inject_i pc (binop_i op iregs.(a) n);
+        loop (pc + 1)
+      | Code.DCmp (op, d, a, b) ->
+        iregs.(d) <- inject_i pc (if cmp_i op iregs.(a) iregs.(b) then 1 else 0);
+        loop (pc + 1)
+      | Code.DFbin (op, d, a, b) ->
+        fregs.(d) <- inject_f pc (binop_f op fregs.(a) fregs.(b));
+        loop (pc + 1)
+      | Code.DFun (op, d, s) ->
+        fregs.(d) <- inject_f pc (unop_f op fregs.(s));
+        loop (pc + 1)
+      | Code.DFcmp (op, d, a, b) ->
+        iregs.(d) <- inject_i pc (if cmp_f op fregs.(a) fregs.(b) then 1 else 0);
+        loop (pc + 1)
+      | Code.DI2f (d, s) ->
+        fregs.(d) <- inject_f pc (float_of_int iregs.(s));
+        loop (pc + 1)
+      | Code.DF2i (d, s) ->
+        iregs.(d) <- inject_i pc (f2i fregs.(s));
+        loop (pc + 1)
+      | Code.DLw (d, b, o) ->
+        iregs.(d) <- inject_i pc (Memory.load_int memory (iregs.(b) + o));
+        loop (pc + 1)
+      | Code.DSw (v, b, o) ->
+        Memory.store_int memory (iregs.(b) + o) iregs.(v);
+        loop (pc + 1)
+      | Code.DLb (d, b, o) ->
+        iregs.(d) <- inject_i pc (Memory.load_byte memory (iregs.(b) + o));
+        loop (pc + 1)
+      | Code.DSb (v, b, o) ->
+        Memory.store_byte memory (iregs.(b) + o) iregs.(v);
+        loop (pc + 1)
+      | Code.DLwf (d, b, o) ->
+        fregs.(d) <- inject_f pc (Memory.load_flt memory (iregs.(b) + o));
+        loop (pc + 1)
+      | Code.DSwf (v, b, o) ->
+        Memory.store_flt memory (iregs.(b) + o) fregs.(v);
+        loop (pc + 1)
+      | Code.DBr (op, a, b, target) ->
+        if cmp_i op iregs.(a) iregs.(b) then loop target else loop (pc + 1)
+      | Code.DBrz (op, a, target) ->
+        if cmp_i op iregs.(a) 0 then loop target else loop (pc + 1)
+      | Code.DJmp target -> loop target
+      | Code.DCall c ->
+        let set callee_i callee_f =
+          Array.iter (fun (src, dst) -> callee_i.(dst) <- iregs.(src)) c.Code.iargs;
+          Array.iter (fun (src, dst) -> callee_f.(dst) <- fregs.(src)) c.Code.fargs
+        in
+        let ret = call (depth + 1) c.Code.fid set in
+        (if c.Code.dst >= 0 then
+           match ret with
+           | Some (Value.I v) when not c.Code.dst_flt ->
+             iregs.(c.Code.dst) <- inject_i pc v
+           | Some (Value.F x) when c.Code.dst_flt ->
+             fregs.(c.Code.dst) <- inject_f pc x
+           | _ -> invalid_arg "return bank mismatch at runtime");
+        loop (pc + 1)
+      | Code.DRetI r -> Some (Value.I iregs.(r))
+      | Code.DRetF r -> Some (Value.F fregs.(r))
+      | Code.DRetV -> None
+    in
+    loop 0
+  in
+  let outcome =
+    try Done (call 0 code.Code.entry_fid (fun _ _ -> ())) with
+    | Trap.Error t -> Trapped t
+    | Timeout_exn -> Timeout
+  in
+  {
+    outcome;
+    dyn_count = !dyn;
+    injectable_seen = !inj_seen;
+    faults_landed = !landed;
+    memory;
+    exec_counts;
+  }
+
+(* Fault-free execution, trusting the program: raises on trap/timeout. *)
+let run_exn ?lenient ?budget ?count_exec code =
+  let r = run ?lenient ?budget ?count_exec code in
+  match r.outcome with
+  | Done _ -> r
+  | Trapped t -> failwith ("fault-free run trapped: " ^ Trap.to_string t)
+  | Timeout -> failwith "fault-free run exceeded budget"

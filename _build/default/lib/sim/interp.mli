@@ -1,0 +1,49 @@
+(** Functional simulator — the SimpleScalar sim-safe role in the
+    paper's methodology: exact architectural state, no timing model,
+    faithful traps, and the paper's fault-injection hook.
+
+    An {!injection} carries a per-instruction injectability mask (the
+    tagging analysis output) and a plan over ordinals *among dynamic
+    executions of injectable instructions*. When execution reaches a
+    planned ordinal, the chosen bit is flipped in the just-computed
+    destination value before write-back; the corruption then
+    propagates architecturally. *)
+
+type injection = {
+  tags : bool array array;      (** fid -> body index -> injectable *)
+  plan : (int, int) Hashtbl.t;  (** injectable ordinal -> bit *)
+}
+
+type outcome =
+  | Done of Value.t option  (** entry function returned *)
+  | Trapped of Trap.t
+  | Timeout  (** exceeded the dynamic-instruction budget *)
+
+type result = {
+  outcome : outcome;
+  dyn_count : int;
+  injectable_seen : int;
+  faults_landed : int;
+  memory : Memory.t;
+  exec_counts : int array array;
+      (** per-function, per-body-index execution counts; populated when
+          [count_exec] was set *)
+}
+
+exception Timeout_exn
+
+val max_call_depth : int
+
+val run :
+  ?injection:injection ->
+  ?lenient:bool ->
+  ?budget:int ->
+  ?count_exec:bool ->
+  Code.t ->
+  result
+(** Execute from the entry function. [budget] defaults to 10^8 dynamic
+    instructions; [lenient] selects the memory model (default strict). *)
+
+val run_exn :
+  ?lenient:bool -> ?budget:int -> ?count_exec:bool -> Code.t -> result
+(** Like {!run} for fault-free execution: fails on trap or timeout. *)

@@ -1,0 +1,186 @@
+(* Flat data memory.
+
+   One 4-byte-addressed cell per program word. A cell holds either a
+   32-bit integer or a double; the per-cell kind tag reproduces the
+   segmentation behaviour relevant to the paper: a corrupted address
+   that stays inside memory silently corrupts *other program data*
+   (like a wild store inside a process image).
+
+   Two models for accesses that leave the image, selectable per
+   machine:
+
+   - strict (default): out-of-range, null, misaligned or kind-confused
+     accesses trap — a conventional MMU/segfault model;
+   - lenient: the SimpleScalar sim-safe model the paper ran on: the
+     sparse memory transparently allocates zero-filled pages (wild
+     loads return 0, wild stores vanish, kind confusion reads as 0)
+     and word accesses are not alignment-checked — an unaligned
+     address is truncated to its word, as the PISA accessors do.
+
+   Cells are split across two unboxed arrays for speed; [kind] says
+   which array holds the live value. *)
+
+type t = {
+  ints : int array;      (* integer image of each cell *)
+  flts : float array;    (* float image of each cell *)
+  kind : Bytes.t;        (* '\000' = int cell, '\001' = float cell *)
+  size_bytes : int;
+  lenient : bool;
+}
+
+let int_kind = '\000'
+let flt_kind = '\001'
+
+let create ?(lenient = false) ~cells () =
+  {
+    ints = Array.make cells 0;
+    flts = Array.make cells 0.0;
+    kind = Bytes.make cells int_kind;
+    size_bytes = cells * 4;
+    lenient;
+  }
+
+let size_bytes t = t.size_bytes
+let is_lenient t = t.lenient
+
+(* Address checks are split so the interpreter reports the most precise
+   trap: the null guard occupies bytes 0..3. Returns the cell index, or
+   -1 when a lenient machine should treat the access as hitting a
+   zero page. *)
+let cell t addr =
+  let addr =
+    if addr land 3 = 0 then addr
+    else if t.lenient then addr land lnot 3
+    else raise (Trap.Error (Trap.Unaligned addr))
+  in
+  if addr < 4 || addr >= t.size_bytes then begin
+    if t.lenient then -1
+    else if addr >= 0 && addr < 4 then raise (Trap.Error Trap.Null_access)
+    else raise (Trap.Error (Trap.Out_of_bounds addr))
+  end
+  else addr lsr 2
+
+let load_int t addr =
+  let c = cell t addr in
+  if c < 0 then 0
+  else if Bytes.unsafe_get t.kind c <> int_kind then
+    if t.lenient then 0 else raise (Trap.Error (Trap.Type_confusion addr))
+  else Array.unsafe_get t.ints c
+
+let load_flt t addr =
+  let c = cell t addr in
+  if c < 0 then 0.0
+  else if Bytes.unsafe_get t.kind c <> flt_kind then
+    if t.lenient then 0.0 else raise (Trap.Error (Trap.Type_confusion addr))
+  else Array.unsafe_get t.flts c
+
+(* Stores overwrite the cell kind: a wild integer store into a float
+   region corrupts it silently, as on real hardware. *)
+let store_int t addr v =
+  let c = cell t addr in
+  if c >= 0 then begin
+    Bytes.unsafe_set t.kind c int_kind;
+    Array.unsafe_set t.ints c v
+  end
+
+let store_flt t addr x =
+  let c = cell t addr in
+  if c >= 0 then begin
+    Bytes.unsafe_set t.kind c flt_kind;
+    Array.unsafe_set t.flts c x
+  end
+
+(* Byte accesses: little-endian lanes within a word cell. Never
+   alignment-trap (as on MIPS lbu/sb). *)
+let byte_cell t addr =
+  if addr < 4 || addr >= t.size_bytes then begin
+    if t.lenient then -1
+    else if addr >= 0 && addr < 4 then raise (Trap.Error Trap.Null_access)
+    else raise (Trap.Error (Trap.Out_of_bounds addr))
+  end
+  else addr lsr 2
+
+let load_byte t addr =
+  let c = byte_cell t addr in
+  if c < 0 then 0
+  else if Bytes.unsafe_get t.kind c <> int_kind then
+    if t.lenient then 0 else raise (Trap.Error (Trap.Type_confusion addr))
+  else ((Array.unsafe_get t.ints c land 0xFFFFFFFF) lsr (8 * (addr land 3))) land 0xFF
+
+let store_byte t addr v =
+  let c = byte_cell t addr in
+  if c >= 0 then begin
+    if Bytes.unsafe_get t.kind c <> int_kind then
+      if t.lenient then ()
+      else raise (Trap.Error (Trap.Type_confusion addr))
+    else begin
+      let sh = 8 * (addr land 3) in
+      let u = Array.unsafe_get t.ints c land 0xFFFFFFFF in
+      let u = u land lnot (0xFF lsl sh) lor ((v land 0xFF) lsl sh) in
+      Array.unsafe_set t.ints c (Value.sx32 u)
+    end
+  end
+
+(* Non-trapping inspection, for harness output extraction and tests. *)
+let peek t addr : Value.t option =
+  if addr land 3 <> 0 || addr < 0 || addr >= t.size_bytes then None
+  else
+    let c = addr lsr 2 in
+    if Bytes.get t.kind c = int_kind then Some (Value.I t.ints.(c))
+    else Some (Value.F t.flts.(c))
+
+let of_prog ?lenient (prog : Ir.Prog.t) =
+  let entries, total_bytes = Ir.Prog.layout prog in
+  let t = create ?lenient ~cells:(total_bytes / 4) () in
+  List.iter
+    (fun (g : Ir.Prog.global) ->
+      let addr =
+        match List.find_opt (fun (n, _, _) -> n = g.Ir.Prog.gname) entries with
+        | Some (_, a, _) -> a
+        | None -> assert false
+      in
+      let base_cell = addr / 4 in
+      (match g.Ir.Prog.gty with
+       | Ir.Ty.F64 ->
+         for i = 0 to g.Ir.Prog.size - 1 do
+           Bytes.set t.kind (base_cell + i) flt_kind
+         done
+       | Ir.Ty.I32 | Ir.Ty.I8 -> ());
+      match (g.Ir.Prog.gty, g.Ir.Prog.init) with
+      | _, Ir.Prog.Zero -> ()
+      | Ir.Ty.I8, Ir.Prog.Int_data a ->
+        Array.iteri
+          (fun i v -> store_byte t (addr + i) (Int32.to_int v land 0xFF))
+          a
+      | _, Ir.Prog.Int_data a ->
+        Array.iteri (fun i v -> t.ints.(base_cell + i) <- Value.of_int32 v) a
+      | _, Ir.Prog.Flt_data a ->
+        Array.iteri (fun i x -> t.flts.(base_cell + i) <- x) a)
+    prog.Ir.Prog.globals;
+  t
+
+(* Read a whole global back out as values, in element order. *)
+let read_global t (prog : Ir.Prog.t) name : Value.t array =
+  match Ir.Prog.find_global prog name with
+  | None -> invalid_arg ("read_global: unknown global " ^ name)
+  | Some g ->
+    let addr = Ir.Prog.global_addr prog name in
+    let base_cell = addr / 4 in
+    (match g.Ir.Prog.gty with
+     | Ir.Ty.I8 ->
+       Array.init g.Ir.Prog.size (fun i -> Value.I (load_byte t (addr + i)))
+     | Ir.Ty.I32 | Ir.Ty.F64 ->
+       Array.init g.Ir.Prog.size (fun i ->
+           if Bytes.get t.kind (base_cell + i) = int_kind then
+             Value.I t.ints.(base_cell + i)
+           else Value.F t.flts.(base_cell + i)))
+
+let read_global_ints t prog name =
+  Array.map
+    (function Value.I v -> v | Value.F x -> int_of_float x)
+    (read_global t prog name)
+
+let read_global_flts t prog name =
+  Array.map
+    (function Value.F x -> x | Value.I v -> float_of_int v)
+    (read_global t prog name)

@@ -1,0 +1,41 @@
+(** Flat data memory with two access models.
+
+    One 4-byte cell per program word; a cell holds either a 32-bit
+    integer or a double (per-cell kind tag). Byte accesses address
+    little-endian lanes within integer cells and never alignment-trap.
+
+    - strict (default): out-of-range, null, misaligned or
+      kind-confused accesses raise {!Sim.Trap.Error} — an MMU model;
+    - lenient: the SimpleScalar sim-safe model the paper ran on —
+      wild loads read 0, wild stores vanish, kind confusion reads 0,
+      and misaligned word accesses are truncated to their word. *)
+
+type t
+
+val create : ?lenient:bool -> cells:int -> unit -> t
+val size_bytes : t -> int
+val is_lenient : t -> bool
+
+val load_int : t -> int -> int
+val load_flt : t -> int -> float
+val store_int : t -> int -> int -> unit
+val store_flt : t -> int -> float -> unit
+
+val load_byte : t -> int -> int
+(** Zero-extended; never alignment-traps. *)
+
+val store_byte : t -> int -> int -> unit
+(** Stores the low 8 bits; never alignment-traps. *)
+
+val peek : t -> int -> Value.t option
+(** Non-trapping inspection (word granularity). *)
+
+val of_prog : ?lenient:bool -> Ir.Prog.t -> t
+(** Lay out and initialize the program's globals (see
+    {!Ir.Prog.layout}). *)
+
+val read_global : t -> Ir.Prog.t -> string -> Value.t array
+(** A whole global in element order; byte globals are unpacked. *)
+
+val read_global_ints : t -> Ir.Prog.t -> string -> int array
+val read_global_flts : t -> Ir.Prog.t -> string -> float array

@@ -1,0 +1,24 @@
+(* Hardware-visible traps. Any trap ends the run and is classified as a
+   catastrophic failure (a "crash" in the paper's terminology). *)
+
+type t =
+  | Out_of_bounds of int       (* byte address outside memory *)
+  | Unaligned of int           (* byte address not 4-aligned *)
+  | Division_by_zero
+  | Type_confusion of int      (* integer access to a float cell or vice versa *)
+  | Float_to_int_overflow of float
+  | Call_stack_overflow of int (* depth reached *)
+  | Null_access                (* address 0..3, the null guard *)
+
+exception Error of t
+
+let to_string = function
+  | Out_of_bounds a -> Printf.sprintf "out-of-bounds access at byte %d" a
+  | Unaligned a -> Printf.sprintf "unaligned access at byte %d" a
+  | Division_by_zero -> "integer division by zero"
+  | Type_confusion a -> Printf.sprintf "type-confused access at byte %d" a
+  | Float_to_int_overflow x -> Printf.sprintf "f2i overflow on %g" x
+  | Call_stack_overflow d -> Printf.sprintf "call stack overflow at depth %d" d
+  | Null_access -> "null access"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

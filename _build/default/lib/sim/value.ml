@@ -1,0 +1,43 @@
+(* Runtime values and single-bit corruption.
+
+   Integers are kept as native OCaml ints constrained to signed 32-bit
+   range (the simulator re-normalizes after every operation); floats
+   are IEEE-754 doubles. Bit flips act on the 32-bit two's-complement
+   image of an integer and on the 64-bit IEEE image of a float,
+   matching the paper's "flip a bit in the result of an instruction". *)
+
+type t =
+  | I of int   (* always within [-2^31, 2^31) *)
+  | F of float
+
+(* Sign-extend the low 32 bits of [v] — the canonical form of every
+   integer value in the machine. *)
+let sx32 v = ((v land 0xFFFFFFFF) lxor 0x80000000) - 0x80000000
+
+let of_int32 n = sx32 (Int32.to_int n)
+
+let flip_int ~bit v =
+  assert (bit >= 0 && bit < 32);
+  sx32 (v lxor (1 lsl bit))
+
+let flip_float ~bit x =
+  assert (bit >= 0 && bit < 64);
+  Int64.float_of_bits (Int64.logxor (Int64.bits_of_float x) (Int64.shift_left 1L bit))
+
+let flip ~bit = function
+  | I v -> I (flip_int ~bit:(bit mod 32) v)
+  | F x -> F (flip_float ~bit:(bit mod 64) x)
+
+let bits = function I _ -> 32 | F _ -> 64
+
+let equal a b =
+  match (a, b) with
+  | I x, I y -> x = y
+  | F x, F y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | I _, F _ | F _, I _ -> false
+
+let to_string = function
+  | I v -> string_of_int v
+  | F x -> Printf.sprintf "%g" x
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

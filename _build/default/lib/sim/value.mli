@@ -1,0 +1,30 @@
+(** Runtime values and single-bit corruption.
+
+    Integers are OCaml ints kept in canonical signed 32-bit form;
+    floats are IEEE-754 doubles. *)
+
+type t =
+  | I of int  (** always within [-2^31, 2^31) *)
+  | F of float
+
+val sx32 : int -> int
+(** Sign-extend the low 32 bits — the canonical form of every integer
+    value in the machine. *)
+
+val of_int32 : int32 -> int
+
+val flip_int : bit:int -> int -> int
+(** Flip one bit (0..31) of the 32-bit two's-complement image. *)
+
+val flip_float : bit:int -> float -> float
+(** Flip one bit (0..63) of the IEEE-754 double image. *)
+
+val flip : bit:int -> t -> t
+(** Dispatches on the value kind, folding [bit] into range. *)
+
+val bits : t -> int
+val equal : t -> t -> bool
+(** Bitwise equality: NaNs with equal images are equal. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

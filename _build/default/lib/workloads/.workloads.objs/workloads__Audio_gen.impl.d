@@ -1,0 +1,1 @@
+lib/workloads/audio_gen.ml: Array Rng

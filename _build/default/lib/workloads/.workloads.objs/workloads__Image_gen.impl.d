@@ -1,0 +1,1 @@
+lib/workloads/image_gen.ml: Array List Rng

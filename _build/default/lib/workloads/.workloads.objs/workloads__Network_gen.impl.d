@@ -1,0 +1,1 @@
+lib/workloads/network_gen.ml: Array Fidelity List Rng

@@ -1,0 +1,1 @@
+lib/workloads/text_gen.ml: Array Buffer Char Int32 List Rng String

@@ -1,0 +1,33 @@
+(* Speech-like synthetic audio: a sum of slowly wandering harmonics
+   under a syllable-rate amplitude envelope, plus low-level noise.
+   16-bit signed samples. The ADPCM/GSM codecs only need realistic
+   short-time correlation and dynamics, which this provides. *)
+
+let pi = 4.0 *. atan 1.0
+
+let speech ~seed ~samples =
+  let rng = Rng.make seed in
+  let base = 100.0 +. Rng.float rng 80.0 in   (* fundamental, Hz-ish *)
+  let rate = 8000.0 in
+  let out = Array.make samples 0 in
+  for n = 0 to samples - 1 do
+    let t = float_of_int n /. rate in
+    (* syllable envelope at ~3 Hz *)
+    let env = 0.55 +. (0.45 *. sin (2.0 *. pi *. 3.0 *. t)) in
+    let v = ref 0.0 in
+    for h = 1 to 4 do
+      let fh = base *. float_of_int h *. (1.0 +. (0.01 *. sin (2.0 *. pi *. 0.7 *. t))) in
+      v := !v +. (sin (2.0 *. pi *. fh *. t) /. float_of_int h)
+    done;
+    let noise = (Rng.float rng 2.0 -. 1.0) *. 0.02 in
+    let s = env *. ((!v /. 2.0) +. noise) *. 12000.0 in
+    out.(n) <- max (-32768) (min 32767 (int_of_float s))
+  done;
+  out
+
+(* Tone burst, handy for SNR sanity tests. *)
+let tone ~freq ~samples ~amplitude =
+  let rate = 8000.0 in
+  Array.init samples (fun n ->
+      let t = float_of_int n /. rate in
+      int_of_float (float_of_int amplitude *. sin (2.0 *. pi *. freq *. t)))

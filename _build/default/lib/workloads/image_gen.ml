@@ -1,0 +1,108 @@
+(* Synthetic greyscale imagery.
+
+   Stand-in for the MiBench/SPEC image inputs: what matters to the
+   paper's fidelity trends is structural content (edges for Susan,
+   temporal correlation for MPEG, embedded objects for ART), which
+   these generators provide deterministically from a seed. Pixels are
+   0..255 ints in row-major order. *)
+
+type t = {
+  width : int;
+  height : int;
+  pixels : int array;
+}
+
+let create width height = { width; height; pixels = Array.make (width * height) 0 }
+
+let get img x y = img.pixels.((y * img.width) + x)
+
+let set img x y v =
+  img.pixels.((y * img.width) + x) <- max 0 (min 255 v)
+
+let fill_gradient img ~dx ~dy =
+  for y = 0 to img.height - 1 do
+    for x = 0 to img.width - 1 do
+      set img x y (((x * dx) + (y * dy)) land 255)
+    done
+  done
+
+let draw_rect img ~x0 ~y0 ~w ~h ~level =
+  for y = y0 to min (img.height - 1) (y0 + h - 1) do
+    for x = x0 to min (img.width - 1) (x0 + w - 1) do
+      if x >= 0 && y >= 0 then set img x y level
+    done
+  done
+
+let draw_disc img ~cx ~cy ~r ~level =
+  for y = max 0 (cy - r) to min (img.height - 1) (cy + r) do
+    for x = max 0 (cx - r) to min (img.width - 1) (cx + r) do
+      let dx = x - cx and dy = y - cy in
+      if (dx * dx) + (dy * dy) <= r * r then set img x y level
+    done
+  done
+
+let add_noise img rng ~amplitude =
+  for i = 0 to Array.length img.pixels - 1 do
+    let n = Rng.range rng (-amplitude) (amplitude + 1) in
+    img.pixels.(i) <- max 0 (min 255 (img.pixels.(i) + n))
+  done
+
+(* A structured test scene: gradient background, a bright rectangle, a
+   dark disc and mild sensor noise — enough edges for Susan to have
+   meaningful output. *)
+let scene ~seed ~width ~height =
+  let rng = Rng.make seed in
+  let img = create width height in
+  fill_gradient img ~dx:3 ~dy:2;
+  draw_rect img
+    ~x0:(width / 6)
+    ~y0:(height / 6)
+    ~w:(width / 3)
+    ~h:(height / 3)
+    ~level:220;
+  draw_disc img
+    ~cx:(2 * width / 3)
+    ~cy:(2 * height / 3)
+    ~r:(width / 6)
+    ~level:40;
+  add_noise img rng ~amplitude:4;
+  img
+
+(* A short video: the rectangle slides one pixel per frame, giving the
+   P/B-frame encoder real temporal redundancy. *)
+let video ~seed ~width ~height ~frames =
+  let rng = Rng.make seed in
+  List.init frames (fun t ->
+      let img = create width height in
+      fill_gradient img ~dx:2 ~dy:1;
+      draw_rect img
+        ~x0:((width / 6) + t)
+        ~y0:(height / 4)
+        ~w:(width / 3)
+        ~h:(height / 3)
+        ~level:210;
+      draw_disc img
+        ~cx:((2 * width / 3) - t)
+        ~cy:(2 * height / 3)
+        ~r:(width / 7)
+        ~level:60;
+      add_noise img rng ~amplitude:3;
+      img)
+
+(* A "thermal image" with a known object stamped at a known window,
+   for the ART recognition scan. [object_pixels] is pasted at
+   [(ox, oy)] over a dim noisy background. *)
+let thermal ~seed ~width ~height ~obj ~ox ~oy =
+  let rng = Rng.make seed in
+  let img = create width height in
+  for i = 0 to Array.length img.pixels - 1 do
+    img.pixels.(i) <- 20 + Rng.int rng 25
+  done;
+  let ow = obj.width and oh = obj.height in
+  for y = 0 to oh - 1 do
+    for x = 0 to ow - 1 do
+      if ox + x < width && oy + y < height then
+        set img (ox + x) (oy + y) (get obj x y)
+    done
+  done;
+  img

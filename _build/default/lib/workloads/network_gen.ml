@@ -1,0 +1,70 @@
+(* Synthetic single-depot vehicle-scheduling instances, posed as
+   min-cost-flow problems — the problem class MCF solves. Nodes are a
+   depot source, a layered set of trip nodes ordered by departure time,
+   and a sink; arcs are pull-outs (source->trip), feasible deadheads
+   between time-compatible trips (layer i -> layer i+1), and pull-ins
+   (trip->sink). Capacities are small, costs positive; the layering
+   guarantees a DAG so every instance is feasible and bounded. *)
+
+type t = {
+  n_nodes : int;
+  arcs : (int * int * int * int) array;  (* from, to, cap, cost *)
+  source : int;
+  sink : int;
+  supply : int;
+}
+
+let generate ~seed ~layers ~per_layer ~supply =
+  let rng = Rng.make seed in
+  let n_trip = layers * per_layer in
+  let source = 0 and sink = n_trip + 1 in
+  let node layer k = 1 + (layer * per_layer) + k in
+  let arcs = ref [] in
+  let add u v cap cost = arcs := (u, v, cap, cost) :: !arcs in
+  (* pull-outs: depot can start any first-layer trip *)
+  for k = 0 to per_layer - 1 do
+    add source (node 0 k) (1 + Rng.int rng 3) (5 + Rng.int rng 20)
+  done;
+  (* deadheads between consecutive layers: dense enough to be feasible *)
+  for l = 0 to layers - 2 do
+    for a = 0 to per_layer - 1 do
+      for b = 0 to per_layer - 1 do
+        if a = b || Rng.int rng 100 < 60 then
+          add (node l a) (node (l + 1) b) (1 + Rng.int rng 3) (1 + Rng.int rng 15)
+      done
+    done
+  done;
+  (* pull-ins *)
+  for k = 0 to per_layer - 1 do
+    add (node (layers - 1) k) sink (1 + Rng.int rng 3) (5 + Rng.int rng 20)
+  done;
+  (* a couple of skip arcs to make shortest paths non-trivial *)
+  for l = 0 to layers - 3 do
+    for _ = 0 to per_layer / 2 do
+      let a = Rng.int rng per_layer and b = Rng.int rng per_layer in
+      add (node l a) (node (l + 2) b) (1 + Rng.int rng 2) (3 + Rng.int rng 25)
+    done
+  done;
+  {
+    n_nodes = n_trip + 2;
+    arcs = Array.of_list (List.rev !arcs);
+    source;
+    sink;
+    supply;
+  }
+
+(* Maximum shippable supply of an instance (min-cut bound through the
+   pull-out arcs); used to clamp requested supply to feasibility. *)
+let max_supply t =
+  Array.fold_left
+    (fun acc (u, _, cap, _) -> if u = t.source then acc + cap else acc)
+    0 t.arcs
+
+let to_fidelity_instance (t : t) : Fidelity.Schedule.instance =
+  {
+    Fidelity.Schedule.n_nodes = t.n_nodes;
+    arcs = t.arcs;
+    source = t.source;
+    sink = t.sink;
+    supply = t.supply;
+  }

@@ -1,0 +1,12 @@
+(* Deterministic random source for workload generation. A thin wrapper
+   over [Random.State] so every generated input is a pure function of
+   its seed — campaigns and tests replay exactly. *)
+
+type t = Random.State.t
+
+let make seed = Random.State.make [| 0x57ab; seed |]
+let split t tag = Random.State.make [| Random.State.bits t; tag |]
+let int t bound = Random.State.int t bound
+let range t lo hi = lo + Random.State.int t (hi - lo)
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Cfg Func Instr Ir List Printf Prog QCheck QCheck_alcotest Random Reg Ty

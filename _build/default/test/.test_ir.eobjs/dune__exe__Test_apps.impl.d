@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Fidelity Int32 List QCheck QCheck_alcotest Sim Workloads

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Fun Func Hashtbl Instr Ir List Mlang Option Printf Prog QCheck QCheck_alcotest Random Reg Sim Ty

@@ -1,0 +1,1 @@
+test/test_fidelity.ml: Alcotest Array Fidelity Float QCheck QCheck_alcotest

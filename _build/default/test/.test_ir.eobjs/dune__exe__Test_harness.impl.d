@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Apps Core Harness Lazy List Option Sim String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cfg Format Func Instr Ir List Printf Prog QCheck QCheck_alcotest Random Reg Sim Ty Validate

@@ -1,0 +1,1 @@
+test/test_mlang.ml: Alcotest Array Ir List Mlang QCheck QCheck_alcotest Random Sim

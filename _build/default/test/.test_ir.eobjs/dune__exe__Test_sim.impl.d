@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Func Hashtbl Instr Int32 Int64 Ir Prog QCheck QCheck_alcotest Reg Sim Ty

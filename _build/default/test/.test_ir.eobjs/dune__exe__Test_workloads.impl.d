@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Char Int32 List String Workloads

@@ -1,0 +1,401 @@
+(* Tests for the paper's contribution: the CVar tagging analysis
+   (including the paper's own worked example from Section 3),
+   protection policies, the fault model and campaign classification. *)
+
+open Ir
+
+let r reg_no = Reg.int reg_no
+
+(* ------------------------------------------------------------------ *)
+(* The worked example of Section 3 of the paper, verbatim:
+
+     I0: $2 = $4 + 1          *
+     I1: LD $3, addr[]
+     I2: $2 = $3 + 2
+     I3: $3 = $3 + 8
+     I4: $10 = $8 - $4        *
+     I5: $10 = $3 << $2
+     I6: $4 = $3 + $6         *
+     I7: $3 = $3 + 1
+     I8: BNE $3, $10, label
+
+   "The instructions we tag as not influencing the branch in
+   instruction I8 are I6, I4 and I0." *)
+
+let paper_example () =
+  let base = r 1 in
+  Func.make ~name:"paper" ~params:[ r 4; r 8; r 6; base ] ~ret:None
+    [
+      Instr.Bini (Instr.Add, r 2, r 4, 1l);       (* I0 *)
+      Instr.Lw (r 3, base, 0);                    (* I1 *)
+      Instr.Bini (Instr.Add, r 2, r 3, 2l);       (* I2 *)
+      Instr.Bini (Instr.Add, r 3, r 3, 8l);       (* I3 *)
+      Instr.Bin (Instr.Sub, r 10, r 8, r 4);      (* I4 *)
+      Instr.Bin (Instr.Sll, r 10, r 3, r 2);      (* I5 *)
+      Instr.Bin (Instr.Add, r 4, r 3, r 6);       (* I6 *)
+      Instr.Bini (Instr.Add, r 3, r 3, 1l);       (* I7 *)
+      Instr.Br (Instr.Ne, r 3, r 10, "label");    (* I8 *)
+      Instr.Label "label";
+      Instr.Ret None;
+    ]
+
+let tagged_indices prog mode =
+  let tagging =
+    Core.Tagging.compute
+      ~protect_addresses:(mode = `Full)
+      prog
+  in
+  match Core.Tagging.low_reliability tagging "paper" with
+  | None -> Alcotest.fail "no tagging for function"
+  | Some low ->
+    List.filter (fun i -> low.(i)) (List.init (Array.length low) Fun.id)
+
+let test_paper_example_literal () =
+  let prog = Prog.make ~entry:"paper" ~globals:[] [ paper_example () ] in
+  Alcotest.(check (list int)) "I0, I4, I6 tagged" [ 0; 4; 6 ]
+    (tagged_indices prog `Literal)
+
+let test_paper_example_full () =
+  (* With address protection the same instructions are tagged here:
+     the base register is a parameter, so no body instruction feeds an
+     address. *)
+  let prog = Prog.make ~entry:"paper" ~globals:[] [ paper_example () ] in
+  Alcotest.(check (list int)) "I0, I4, I6 tagged" [ 0; 4; 6 ]
+    (tagged_indices prog `Full)
+
+(* ------------------------------------------------------------------ *)
+(* Address rule difference.                                            *)
+
+let test_address_modes_differ () =
+  (* r2 = r0 + 4 feeds only a load address: tagged under the literal
+     rules, critical under control+address protection. *)
+  let f =
+    Func.make ~name:"main" ~params:[ r 0 ] ~ret:(Some Ty.I32)
+      [
+        Instr.La (r 1, "g");
+        Instr.Bin (Instr.Add, r 2, r 1, r 0);   (* address arithmetic *)
+        Instr.Lw (r 3, r 2, 0);
+        Instr.Ret (Some (r 3));
+      ]
+  in
+  let prog = Prog.make ~globals:[ Prog.global "g" Ty.I32 4 ] [ f ] in
+  let low mode =
+    let t = Core.Tagging.compute ~protect_addresses:(mode = `Full) prog in
+    Option.get (Core.Tagging.low_reliability t "main")
+  in
+  Alcotest.(check bool) "literal tags address add" true (low `Literal).(1);
+  Alcotest.(check bool) "full protects address add" false (low `Full).(1)
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural behaviour.                                          *)
+
+let test_interprocedural_ret_critical () =
+  (* g computes x+1; main branches on g's result: the add inside g must
+     be critical. *)
+  let g =
+    Func.make ~name:"g" ~params:[ r 0 ] ~ret:(Some Ty.I32)
+      [ Instr.Bini (Instr.Add, r 1, r 0, 1l); Instr.Ret (Some (r 1)) ]
+  in
+  let main =
+    Func.make ~name:"main" ~params:[] ~ret:(Some Ty.I32)
+      [
+        Instr.Li (r 0, 5l);
+        Instr.Call { dst = Some (r 1); func = "g"; args = [ r 0 ] };
+        Instr.Brz (Instr.Eq, r 1, "zero");
+        Instr.Li (r 2, 1l);
+        Instr.Ret (Some (r 2));
+        Instr.Label "zero";
+        Instr.Li (r 2, 0l);
+        Instr.Ret (Some (r 2));
+      ]
+  in
+  let prog = Prog.make ~globals:[] [ main; g ] in
+  let t = Core.Tagging.compute prog in
+  let g_low = Option.get (Core.Tagging.low_reliability t "g") in
+  Alcotest.(check bool) "add in g critical" false g_low.(0);
+  let s = Option.get (Core.Tagging.summary t "g") in
+  Alcotest.(check bool) "g ret critical" true s.Core.Tagging.ret_critical;
+  Alcotest.(check bool) "g param critical" true s.Core.Tagging.critical_params.(0)
+
+let test_interprocedural_ret_not_critical () =
+  (* main stores g's result to memory (a data sink): g's body may relax. *)
+  let g =
+    Func.make ~name:"g" ~params:[ r 0 ] ~ret:(Some Ty.I32)
+      [ Instr.Bini (Instr.Add, r 1, r 0, 1l); Instr.Ret (Some (r 1)) ]
+  in
+  let main =
+    Func.make ~name:"main" ~params:[] ~ret:None
+      [
+        Instr.Li (r 0, 5l);
+        Instr.Call { dst = Some (r 1); func = "g"; args = [ r 0 ] };
+        Instr.La (r 2, "g_out");
+        Instr.Sw (r 1, r 2, 0);
+        Instr.Ret None;
+      ]
+  in
+  let prog =
+    Prog.make ~globals:[ Prog.global "g_out" Ty.I32 1 ] [ main; g ]
+  in
+  let t = Core.Tagging.compute prog in
+  let g_low = Option.get (Core.Tagging.low_reliability t "g") in
+  Alcotest.(check bool) "add in g tagged" true g_low.(0)
+
+let test_ineligible_function () =
+  let g =
+    Func.make ~eligible:false ~name:"g" ~params:[ r 0 ] ~ret:(Some Ty.I32)
+      [ Instr.Bini (Instr.Add, r 1, r 0, 1l); Instr.Ret (Some (r 1)) ]
+  in
+  let main =
+    Func.make ~name:"main" ~params:[] ~ret:None
+      [
+        Instr.Li (r 0, 5l);
+        Instr.Call { dst = Some (r 1); func = "g"; args = [ r 0 ] };
+        Instr.La (r 2, "g_out");
+        Instr.Sw (r 1, r 2, 0);
+        Instr.Ret None;
+      ]
+  in
+  let prog =
+    Prog.make ~globals:[ Prog.global "g_out" Ty.I32 1 ] [ main; g ]
+  in
+  let t = Core.Tagging.compute prog in
+  let g_low = Option.get (Core.Tagging.low_reliability t "g") in
+  Alcotest.(check bool) "nothing tagged in ineligible g" true
+    (Array.for_all not g_low);
+  (* and its formals are treated as control-critical by callers *)
+  let s = Option.get (Core.Tagging.summary t "g") in
+  Alcotest.(check bool) "formals critical" true s.Core.Tagging.critical_params.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Policy masks.                                                       *)
+
+let test_policy_masks () =
+  let prog = Prog.make ~entry:"paper" ~globals:[] [ paper_example () ] in
+  let t = Core.Tagging.compute prog in
+  let nothing = Core.Tagging.mask t Core.Policy.Protect_nothing in
+  let all = Core.Tagging.mask t Core.Policy.Protect_all in
+  let control = Core.Tagging.mask t Core.Policy.Protect_control in
+  let count m = Array.fold_left (fun a x -> if x then a + 1 else a) 0 m.(0) in
+  Alcotest.(check int) "protect-all exposes none" 0 (count all);
+  Alcotest.(check int) "protect-nothing exposes every def" 8 (count nothing);
+  Alcotest.(check int) "protect-control exposes tagged" 3 (count control)
+
+(* ------------------------------------------------------------------ *)
+(* Fault model.                                                        *)
+
+let test_plan_shape () =
+  let rng = Random.State.make [| 42 |] in
+  let plan = Core.Fault_model.make_plan ~rng ~injectable_total:1000 ~errors:50 in
+  Alcotest.(check int) "50 distinct errors" 50 (Hashtbl.length plan);
+  Hashtbl.iter
+    (fun ordinal bit ->
+      Alcotest.(check bool) "ordinal in range" true (ordinal >= 0 && ordinal < 1000);
+      Alcotest.(check bool) "bit in range" true (bit >= 0 && bit < 64))
+    plan
+
+let test_plan_saturates () =
+  let rng = Random.State.make [| 42 |] in
+  let plan = Core.Fault_model.make_plan ~rng ~injectable_total:10 ~errors:50 in
+  Alcotest.(check int) "saturated" 10 (Hashtbl.length plan)
+
+let test_plan_empty_pool () =
+  let rng = Random.State.make [| 42 |] in
+  let plan = Core.Fault_model.make_plan ~rng ~injectable_total:0 ~errors:5 in
+  Alcotest.(check int) "no faults possible" 0 (Hashtbl.length plan)
+
+let plan_determinism =
+  QCheck.Test.make ~name:"plans deterministic per seed" ~count:50
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (seed, errors) ->
+      let mk () =
+        let rng = Random.State.make [| seed |] in
+        Core.Fault_model.make_plan ~rng ~injectable_total:10_000 ~errors
+      in
+      let a = mk () and b = mk () in
+      Hashtbl.length a = Hashtbl.length b
+      && Hashtbl.fold
+           (fun k v acc -> acc && Hashtbl.find_opt b k = Some v)
+           a true)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns and the soundness of protection.                          *)
+
+let gcd_mlang =
+  let open Mlang.Dsl in
+  program
+    [ garray "out" 2 ]
+    [
+      fn "gcd" [ p_int "a"; p_int "b" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          while_ (v "b" <>! i 0)
+            [ let_ "t" (v "b"); set "b" (v "a" %! v "b"); set "a" (v "t") ];
+          ret (v "a");
+        ];
+      fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [
+          let_ "g" (call "gcd" [ i 252; i 105 ]);
+          let_ "scaled" (v "g" *! i 3);
+          sto "out" (i 0) (v "scaled");
+          ret (i 0);
+        ];
+    ]
+
+let test_campaign_classification () =
+  let prog = Mlang.Compile.to_ir gcd_mlang in
+  let target = Core.Campaign.of_prog prog in
+  let p = Core.Campaign.prepare target Core.Policy.Protect_control in
+  let s = Core.Campaign.run p ~errors:1 ~trials:10 ~seed:3 in
+  Alcotest.(check int) "all trials accounted" 10
+    (s.Core.Campaign.crashes + s.Core.Campaign.infinite + s.Core.Campaign.completed)
+
+(* Soundness: with control+address protection and no memory round trip
+   into control, a single injected fault can never change the execution
+   path — the dynamic instruction count stays exactly the baseline. *)
+let test_protection_soundness () =
+  let prog = Mlang.Compile.to_ir gcd_mlang in
+  let target = Core.Campaign.of_prog ~protect_addresses:true prog in
+  let baseline = target.Core.Campaign.baseline.Sim.Interp.dyn_count in
+  let p = Core.Campaign.prepare target Core.Policy.Protect_control in
+  Alcotest.(check bool) "something injectable" true
+    (p.Core.Campaign.injectable_total > 0);
+  for trial = 0 to 60 do
+    let rng = Random.State.make [| 99; trial |] in
+    let t = Core.Campaign.run_trial p ~errors:1 ~rng ~index:trial in
+    match t.Core.Campaign.outcome with
+    | Core.Outcome.Completed r ->
+      Alcotest.(check int) "path unchanged" baseline r.Sim.Interp.dyn_count
+    | o -> Alcotest.failf "catastrophic under protection: %s" (Core.Outcome.to_string o)
+  done
+
+let test_unprotected_can_diverge () =
+  let prog = Mlang.Compile.to_ir gcd_mlang in
+  let target = Core.Campaign.of_prog prog in
+  let baseline = target.Core.Campaign.baseline.Sim.Interp.dyn_count in
+  let p = Core.Campaign.prepare target Core.Policy.Protect_nothing in
+  let diverged = ref false in
+  for trial = 0 to 60 do
+    let rng = Random.State.make [| 7; trial |] in
+    let t = Core.Campaign.run_trial p ~errors:2 ~rng ~index:trial in
+    match t.Core.Campaign.outcome with
+    | Core.Outcome.Completed r ->
+      if r.Sim.Interp.dyn_count <> baseline then diverged := true
+    | _ -> diverged := true
+  done;
+  Alcotest.(check bool) "unprotected faults change paths" true !diverged
+
+(* Randomized soundness audit: generate random Mlang kernels whose
+   memory traffic is write-only (no value is loaded back after being
+   stored, so the analysis's only blind spot — the memory roundtrip —
+   cannot occur). Under Full-mode protection, ANY single fault on a
+   tagged instruction must leave the execution path identical. *)
+let random_kernel seed =
+  let open Mlang.Dsl in
+  let rng = Random.State.make [| 0xbeef; seed |] in
+  let n_stmts = 3 + Random.State.int rng 6 in
+  let vars = [ "a"; "b"; "c" ] in
+  let rvar () = List.nth vars (Random.State.int rng 3) in
+  let rec expr depth =
+    if depth = 0 then
+      if Random.State.bool rng then i (Random.State.int rng 100 - 50)
+      else v (rvar ())
+    else
+      let x = expr (depth - 1) and y = expr (depth - 1) in
+      match Random.State.int rng 5 with
+      | 0 -> x +! y
+      | 1 -> x -! y
+      | 2 -> x *! y
+      | 3 -> x ^! y
+      | _ -> x &! y
+  in
+  let body = ref [] in
+  for k = 0 to n_stmts - 1 do
+    let stmt =
+      match Random.State.int rng 3 with
+      | 0 -> set (rvar ()) (expr 2)
+      | 1 -> sto "out" (i (k mod 8)) (expr 2)
+      | _ ->
+        for_ (Printf.sprintf "t%d" k) (i 0)
+          (i (1 + Random.State.int rng 5))
+          [ set (rvar ()) (expr 1 +! v (Printf.sprintf "t%d" k)) ]
+    in
+    body := stmt :: !body
+  done;
+  program
+    [ garray "out" 8 ]
+    [
+      fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+        (List.concat
+           [
+             [ let_ "a" (i 3); let_ "b" (i 11); let_ "c" (i (-7)) ];
+             List.rev !body;
+             [ ret (v "a" +! v "b" +! v "c") ];
+           ]);
+    ]
+
+let tagging_soundness_prop =
+  QCheck.Test.make ~name:"random kernels: protected faults never change paths"
+    ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let prog = Mlang.Compile.to_ir (random_kernel seed) in
+      let target = Core.Campaign.of_prog ~protect_addresses:true prog in
+      let baseline = target.Core.Campaign.baseline.Sim.Interp.dyn_count in
+      let p = Core.Campaign.prepare target Core.Policy.Protect_control in
+      p.Core.Campaign.injectable_total = 0
+      || List.for_all
+           (fun trial ->
+             let rng = Random.State.make [| seed; trial |] in
+             let t = Core.Campaign.run_trial p ~errors:1 ~rng ~index:trial in
+             match t.Core.Campaign.outcome with
+             | Core.Outcome.Completed r ->
+               r.Sim.Interp.dyn_count = baseline
+             | _ -> false)
+           (List.init 5 Fun.id))
+
+let test_outcome_classification () =
+  Alcotest.(check bool) "crash catastrophic" true
+    (Core.Outcome.is_catastrophic (Core.Outcome.Crash Sim.Trap.Division_by_zero));
+  Alcotest.(check bool) "infinite catastrophic" true
+    (Core.Outcome.is_catastrophic Core.Outcome.Infinite)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "tagging",
+        [
+          Alcotest.test_case "paper worked example (literal)" `Quick
+            test_paper_example_literal;
+          Alcotest.test_case "paper worked example (full)" `Quick
+            test_paper_example_full;
+          Alcotest.test_case "address modes differ" `Quick
+            test_address_modes_differ;
+          Alcotest.test_case "interprocedural ret critical" `Quick
+            test_interprocedural_ret_critical;
+          Alcotest.test_case "interprocedural ret relaxed" `Quick
+            test_interprocedural_ret_not_critical;
+          Alcotest.test_case "ineligible function" `Quick
+            test_ineligible_function;
+          Alcotest.test_case "policy masks" `Quick test_policy_masks;
+        ] );
+      ( "fault model",
+        [
+          Alcotest.test_case "plan shape" `Quick test_plan_shape;
+          Alcotest.test_case "plan saturates" `Quick test_plan_saturates;
+          Alcotest.test_case "empty pool" `Quick test_plan_empty_pool;
+          QCheck_alcotest.to_alcotest plan_determinism;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "classification totals" `Quick
+            test_campaign_classification;
+          Alcotest.test_case "protection soundness" `Quick
+            test_protection_soundness;
+          Alcotest.test_case "unprotected diverges" `Quick
+            test_unprotected_can_diverge;
+          QCheck_alcotest.to_alcotest tagging_soundness_prop;
+          Alcotest.test_case "outcome classes" `Quick
+            test_outcome_classification;
+        ] );
+    ]

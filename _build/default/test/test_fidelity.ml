@@ -1,0 +1,153 @@
+(* Tests for the fidelity measures of paper Table 1. *)
+
+let test_psnr_identical () =
+  let a = [| 1; 2; 3; 250 |] in
+  Alcotest.(check (float 0.0)) "capped" Fidelity.Psnr.cap_db
+    (Fidelity.Psnr.psnr_db a a)
+
+let test_psnr_known_value () =
+  (* constant error of 5 on every pixel: MSE = 25, PSNR = 10 log10(255^2/25) *)
+  let a = Array.make 100 100 and b = Array.make 100 105 in
+  let expected = 10.0 *. log10 (255.0 *. 255.0 /. 25.0) in
+  Alcotest.(check (float 1e-9)) "psnr" expected (Fidelity.Psnr.psnr_db a b)
+
+let test_psnr_monotone () =
+  let a = Array.make 64 128 in
+  let noisy k = Array.map (fun x -> x + k) a in
+  Alcotest.(check bool) "more noise, lower psnr" true
+    (Fidelity.Psnr.psnr_db a (noisy 2) > Fidelity.Psnr.psnr_db a (noisy 20))
+
+let test_psnr_threshold () =
+  let a = Array.make 16 0 and b = Array.make 16 255 in
+  Alcotest.(check bool) "max noise fails threshold" false
+    (Fidelity.Psnr.meets_threshold ~threshold_db:10.0 a b);
+  Alcotest.(check bool) "identical passes" true
+    (Fidelity.Psnr.meets_threshold ~threshold_db:10.0 a a)
+
+let test_psnr_rejects_mismatch () =
+  Alcotest.check_raises "length" (Invalid_argument "psnr: length mismatch")
+    (fun () -> ignore (Fidelity.Psnr.psnr_db [| 1 |] [| 1; 2 |]))
+
+let test_snr_cases () =
+  let reference = Array.init 64 (fun k -> 100 * (1 + (k mod 3))) in
+  Alcotest.(check (float 0.0)) "identical capped" Fidelity.Snr.cap_db
+    (Fidelity.Snr.snr_db reference reference);
+  let noisy = Array.map (fun x -> x + 10) reference in
+  let snr = Fidelity.Snr.snr_db reference noisy in
+  Alcotest.(check bool) "finite positive" true (snr > 0.0 && snr < 99.0);
+  Alcotest.(check (float 1e-9)) "loss" 3.0
+    (Fidelity.Snr.loss_db ~baseline_db:40.0 ~observed_db:37.0)
+
+let test_snr_zero_signal () =
+  let z = Array.make 8 0 in
+  Alcotest.(check (float 0.0)) "zero ref with noise" 0.0
+    (Fidelity.Snr.snr_db z (Array.make 8 3))
+
+let test_byte_match () =
+  Alcotest.(check (float 0.0)) "all equal" 100.0
+    (Fidelity.Byte_match.pct_equal [| 1; 2; 3; 4 |] [| 1; 2; 3; 4 |]);
+  Alcotest.(check (float 0.0)) "half" 50.0
+    (Fidelity.Byte_match.pct_equal [| 1; 2; 3; 4 |] [| 1; 2; 0; 0 |]);
+  Alcotest.(check (float 0.0)) "tolerance" 100.0
+    (Fidelity.Byte_match.pct_close ~tol:1 [| 10; 20 |] [| 11; 19 |]);
+  Alcotest.(check (float 0.0)) "empty" 100.0
+    (Fidelity.Byte_match.pct_equal [||] [||])
+
+(* Schedule checking over a tiny two-arc network: s -0-> t (cap 2 cost 1),
+   s -1-> t (cap 2 cost 3), supply 3. Optimal = 2*1 + 1*3 = 5. *)
+let inst : Fidelity.Schedule.instance =
+  {
+    Fidelity.Schedule.n_nodes = 2;
+    arcs = [| (0, 1, 2, 1); (0, 1, 2, 3) |];
+    source = 0;
+    sink = 1;
+    supply = 3;
+  }
+
+let check flows cost =
+  Fidelity.Schedule.check inst ~optimal_cost:5 ~flows ~reported_cost:cost
+
+let test_schedule_optimal () =
+  Alcotest.(check bool) "optimal" true
+    (Fidelity.Schedule.is_optimal (check [| 2; 1 |] 5))
+
+let test_schedule_suboptimal () =
+  match check [| 1; 2 |] 7 with
+  | Fidelity.Schedule.Suboptimal extra ->
+    Alcotest.(check (float 1e-9)) "40% extra" 40.0 extra
+  | _ -> Alcotest.fail "expected suboptimal"
+
+let test_schedule_infeasible () =
+  (* wrong amount shipped *)
+  (match check [| 2; 0 |] 2 with
+   | Fidelity.Schedule.Infeasible -> ()
+   | _ -> Alcotest.fail "short shipment must be infeasible");
+  (* over capacity *)
+  (match check [| 3; 0 |] 3 with
+   | Fidelity.Schedule.Infeasible -> ()
+   | _ -> Alcotest.fail "over-capacity must be infeasible");
+  (* misreported cost *)
+  (match check [| 2; 1 |] 4 with
+   | Fidelity.Schedule.Infeasible -> ()
+   | _ -> Alcotest.fail "lying about cost must be infeasible");
+  (* negative flow *)
+  match check [| -1; 2 |] 5 with
+  | Fidelity.Schedule.Infeasible -> ()
+  | _ -> Alcotest.fail "negative flow must be infeasible"
+
+let test_confidence () =
+  let g = { Fidelity.Confidence.best_window = 4; best_category = 2; confidence = 0.9 } in
+  let same = { g with Fidelity.Confidence.confidence = 0.7 } in
+  let other = { g with Fidelity.Confidence.best_window = 5 } in
+  Alcotest.(check bool) "same window+cat recognized" true
+    (Fidelity.Confidence.recognized ~golden:g ~observed:same);
+  Alcotest.(check bool) "other window not" false
+    (Fidelity.Confidence.recognized ~golden:g ~observed:other);
+  Alcotest.(check (float 1e-9)) "confidence error" 0.2
+    (Fidelity.Confidence.confidence_error ~golden:g ~observed:same)
+
+let psnr_symmetric_prop =
+  QCheck.Test.make ~name:"psnr is symmetric" ~count:100
+    QCheck.(pair (array_of_size (QCheck.Gen.return 16) (int_bound 255))
+              (array_of_size (QCheck.Gen.return 16) (int_bound 255)))
+    (fun (a, b) ->
+      Float.abs (Fidelity.Psnr.psnr_db a b -. Fidelity.Psnr.psnr_db b a) < 1e-9)
+
+let byte_match_bounds_prop =
+  QCheck.Test.make ~name:"byte match in [0,100]" ~count:100
+    QCheck.(pair (array_of_size (QCheck.Gen.return 32) small_signed_int)
+              (array_of_size (QCheck.Gen.return 32) small_signed_int))
+    (fun (a, b) ->
+      let p = Fidelity.Byte_match.pct_equal a b in
+      p >= 0.0 && p <= 100.0)
+
+let () =
+  Alcotest.run "fidelity"
+    [
+      ( "psnr",
+        [
+          Alcotest.test_case "identical" `Quick test_psnr_identical;
+          Alcotest.test_case "known value" `Quick test_psnr_known_value;
+          Alcotest.test_case "monotone" `Quick test_psnr_monotone;
+          Alcotest.test_case "threshold" `Quick test_psnr_threshold;
+          Alcotest.test_case "length mismatch" `Quick test_psnr_rejects_mismatch;
+          QCheck_alcotest.to_alcotest psnr_symmetric_prop;
+        ] );
+      ( "snr",
+        [
+          Alcotest.test_case "cases" `Quick test_snr_cases;
+          Alcotest.test_case "zero signal" `Quick test_snr_zero_signal;
+        ] );
+      ( "bytes",
+        [
+          Alcotest.test_case "match" `Quick test_byte_match;
+          QCheck_alcotest.to_alcotest byte_match_bounds_prop;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "optimal" `Quick test_schedule_optimal;
+          Alcotest.test_case "suboptimal" `Quick test_schedule_suboptimal;
+          Alcotest.test_case "infeasible" `Quick test_schedule_infeasible;
+        ] );
+      ( "confidence", [ Alcotest.test_case "scan" `Quick test_confidence ] );
+    ]

@@ -1,0 +1,280 @@
+(* Tests for the Mlang surface-syntax lexer and parser: whole programs
+   are parsed, compiled and executed; surface programs are checked to
+   behave identically to their DSL equivalents. *)
+
+let run_source ?entry src =
+  let prog = Mlang.Parser.compile ?entry src in
+  Sim.Interp.run_exn (Sim.Code.of_prog prog)
+
+let ret_int ?entry src =
+  match (run_source ?entry src).Sim.Interp.outcome with
+  | Sim.Interp.Done (Some (Sim.Value.I v)) -> v
+  | _ -> Alcotest.fail "expected an int return"
+
+(* ------------------------------------------------------------------ *)
+
+let test_gcd () =
+  let src =
+    {|
+    // greatest common divisor, the classic
+    int gcd(int a, int b) {
+      while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+      }
+      return a;
+    }
+
+    protected int main() {
+      return gcd(252, 105);
+    }
+  |}
+  in
+  Alcotest.(check int) "gcd" 21 (ret_int src)
+
+let test_globals_and_arrays () =
+  let src =
+    {|
+    global int data[4] = { 10, 20, -30, 40 };
+    global byte small[4] = { 250, 3 };
+    global float w[2] = { 0.5, 1.5 };
+    global int out[4];
+
+    int main() {
+      int acc = 0;
+      for (int k = 0; k < 4; k = k + 1) {
+        acc = acc + data[k];
+        out[k] = acc;
+      }
+      /* byte semantics: stores truncate, loads zero-extend */
+      small[2] = 300;
+      acc = acc + small[0] + small[2];
+      return acc + f2i(w[0] + w[1]);
+    }
+  |}
+  in
+  (* 40 + 250 + (300 land 255 = 44) + f2i 2.0 = 336 *)
+  Alcotest.(check int) "arrays" 336 (ret_int src)
+
+let test_precedence () =
+  (* 2 + 3 * 4 = 14; (2+3)*4 = 20; shifts and masks at C-like levels *)
+  Alcotest.(check int) "mul binds tighter" 14
+    (ret_int "int main() { return 2 + 3 * 4; }");
+  Alcotest.(check int) "parens" 20
+    (ret_int "int main() { return (2 + 3) * 4; }");
+  Alcotest.(check int) "shift below add" 32
+    (ret_int "int main() { return 1 << 2 + 3; }");
+  Alcotest.(check int) "cmp below shift" 1
+    (ret_int "int main() { return 4 < 1 << 3; }");
+  Alcotest.(check int) "and below eq" 1
+    (ret_int "int main() { return 3 & 2 == 2; }");
+  Alcotest.(check int) "logical ops" 1
+    (ret_int "int main() { return 1 < 2 && 3 != 4; }");
+  Alcotest.(check int) "unary minus" (-6)
+    (ret_int "int main() { return -2 * 3; }");
+  Alcotest.(check int) "not" 0 (ret_int "int main() { return !5; }");
+  Alcotest.(check int) "ashr" (-2)
+    (ret_int "int main() { return -8 >> 2; }");
+  Alcotest.(check int) "lshr" 1073741822
+    (ret_int "int main() { return -8 >>> 2; }")
+
+let test_control_flow () =
+  let src =
+    {|
+    int main() {
+      int acc = 0;
+      int k = 0;
+      while (1) {
+        k = k + 1;
+        if (k > 7) { break; }
+        if (k % 2 == 0) { continue; }
+        acc = acc + k;
+      }
+      if (acc == 16) { return 1; } else { return 0; }
+    }
+  |}
+  in
+  Alcotest.(check int) "while/break/continue/if" 1 (ret_int src)
+
+let test_floats_and_calls () =
+  let src =
+    {|
+    global float out[1];
+
+    float scale(float x, float k) {
+      return x * k + 0.25;
+    }
+
+    void store_it(float v) {
+      out[0] = v;
+    }
+
+    int main() {
+      float y = scale(1.5, 4.0);
+      store_it(y);
+      return f2i(y);
+    }
+  |}
+  in
+  let prog = Mlang.Parser.compile src in
+  let r = Sim.Interp.run_exn (Sim.Code.of_prog prog) in
+  (match r.Sim.Interp.outcome with
+   | Sim.Interp.Done (Some (Sim.Value.I 6)) -> ()
+   | _ -> Alcotest.fail "expected 6");
+  let out = Sim.Memory.read_global_flts r.Sim.Interp.memory prog "out" in
+  Alcotest.(check (float 0.0)) "stored" 6.25 out.(0)
+
+let test_protected_marks_ineligible () =
+  let src =
+    {|
+    int kernel(int x) { return x + 1; }
+    protected int main() { return kernel(1); }
+  |}
+  in
+  let prog = Mlang.Parser.compile src in
+  Alcotest.(check bool) "kernel eligible" true
+    (Ir.Prog.get_func prog "kernel").Ir.Func.eligible;
+  Alcotest.(check bool) "main protected" false
+    (Ir.Prog.get_func prog "main").Ir.Func.eligible
+
+let test_comments () =
+  let src =
+    {|
+    // line comment
+    /* block
+       comment */
+    int main() {
+      return /* inline */ 5; // trailing
+    }
+  |}
+  in
+  Alcotest.(check int) "comments ignored" 5 (ret_int src)
+
+(* Surface syntax and the OCaml DSL must agree. *)
+let test_surface_equals_dsl () =
+  let surface =
+    {|
+    global int out[8];
+    int main() {
+      int acc = 0;
+      for (int a = 0; a < 4; a = a + 1) {
+        for (int b = 0; b < 4; b = b + 1) {
+          acc = acc + a * b;
+          out[a] = acc;
+        }
+      }
+      return acc;
+    }
+  |}
+  in
+  let dsl =
+    let open Mlang.Dsl in
+    program
+      [ garray "out" 8 ]
+      [
+        fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+          [
+            let_ "acc" (i 0);
+            for_ "a" (i 0) (i 4)
+              [
+                for_ "b" (i 0) (i 4)
+                  [
+                    set "acc" (v "acc" +! (v "a" *! v "b"));
+                    sto "out" (v "a") (v "acc");
+                  ];
+              ];
+            ret (v "acc");
+          ];
+      ]
+  in
+  let run prog =
+    let r = Sim.Interp.run_exn (Sim.Code.of_prog prog) in
+    ( r.Sim.Interp.outcome,
+      Sim.Memory.read_global_ints r.Sim.Interp.memory prog "out" )
+  in
+  let o1, m1 = run (Mlang.Parser.compile surface) in
+  let o2, m2 = run (Mlang.Compile.to_ir dsl) in
+  Alcotest.(check bool) "same outcome" true (o1 = o2);
+  Alcotest.(check (array int)) "same memory" m2 m1
+
+let test_parse_errors () =
+  let expect_err src =
+    match Mlang.Parser.parse_program_res src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+  in
+  expect_err "int main() { return 1 }";          (* missing ; *)
+  expect_err "int main() { return @; }";         (* bad char *)
+  expect_err "int main() { for (int i = 0; i > 5; i = i + 1) {} return 0; }";
+  expect_err "int main() { for (int i = 0; j < 5; i = i + 1) {} return 0; }";
+  expect_err "global int g[]; int main() { return 0; }";
+  expect_err "int main() { /* unterminated";
+  expect_err "banana"
+
+let test_parse_then_typecheck_error () =
+  (* parses fine, fails the typechecker *)
+  match Mlang.Parser.parse_program_res "int main() { return 1.5 + 2; }" with
+  | Error _ -> Alcotest.fail "should parse"
+  | Ok prog -> begin
+    match Mlang.Compile.to_ir prog with
+    | _ -> Alcotest.fail "expected a type error"
+    | exception Mlang.Ast.Type_error _ -> ()
+  end
+
+let test_fault_campaign_on_parsed_source () =
+  (* the whole pipeline: source text -> IR -> tagging -> injection *)
+  let src =
+    {|
+    global int input[16] = { 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3 };
+    global int output[16];
+
+    void kernel() {
+      for (int k = 0; k < 16; k = k + 1) {
+        output[k] = input[k] * input[k] + 1;
+      }
+    }
+
+    protected int main() {
+      kernel();
+      return 0;
+    }
+  |}
+  in
+  let prog = Mlang.Parser.compile src in
+  let target = Core.Campaign.of_prog prog in
+  let p = Core.Campaign.prepare target Core.Policy.Protect_control in
+  Alcotest.(check bool) "squares are injectable" true
+    (p.Core.Campaign.injectable_total > 0);
+  let s = Core.Campaign.run p ~errors:2 ~trials:20 ~seed:5 in
+  Alcotest.(check int) "all complete under protection" 20
+    s.Core.Campaign.completed
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "programs",
+        [
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "globals and arrays" `Quick
+            test_globals_and_arrays;
+          Alcotest.test_case "floats and calls" `Quick test_floats_and_calls;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "protected" `Quick test_protected_marks_ineligible;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "surface = DSL" `Quick test_surface_equals_dsl;
+        ] );
+      ( "expressions",
+        [ Alcotest.test_case "precedence" `Quick test_precedence ] );
+      ( "errors",
+        [
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "type error after parse" `Quick
+            test_parse_then_typecheck_error;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "campaign on parsed source" `Quick
+            test_fault_campaign_on_parsed_source;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the synthetic workload generators: determinism, range
+   discipline, structural properties. *)
+
+let test_rng_determinism () =
+  let a = Workloads.Rng.make 7 and b = Workloads.Rng.make 7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Workloads.Rng.int a 1000)
+      (Workloads.Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Workloads.Rng.make 7 and b = Workloads.Rng.make 8 in
+  let xs = List.init 20 (fun _ -> Workloads.Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Workloads.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_scene_properties () =
+  let img = Workloads.Image_gen.scene ~seed:1 ~width:32 ~height:32 in
+  Alcotest.(check int) "size" (32 * 32)
+    (Array.length img.Workloads.Image_gen.pixels);
+  Alcotest.(check bool) "pixels in range" true
+    (Array.for_all (fun p -> p >= 0 && p <= 255) img.Workloads.Image_gen.pixels);
+  (* structural: both bright and dark content present *)
+  Alcotest.(check bool) "has bright region" true
+    (Array.exists (fun p -> p > 180) img.Workloads.Image_gen.pixels);
+  Alcotest.(check bool) "has dark region" true
+    (Array.exists (fun p -> p < 80) img.Workloads.Image_gen.pixels);
+  let img2 = Workloads.Image_gen.scene ~seed:1 ~width:32 ~height:32 in
+  Alcotest.(check bool) "deterministic" true
+    (img.Workloads.Image_gen.pixels = img2.Workloads.Image_gen.pixels)
+
+let test_video_temporal_correlation () =
+  let frames = Workloads.Image_gen.video ~seed:2 ~width:16 ~height:16 ~frames:4 in
+  Alcotest.(check int) "frame count" 4 (List.length frames);
+  match frames with
+  | f0 :: f1 :: _ ->
+    (* consecutive frames are similar but not identical *)
+    let diff =
+      Array.map2 (fun a b -> abs (a - b)) f0.Workloads.Image_gen.pixels
+        f1.Workloads.Image_gen.pixels
+    in
+    let changed = Array.fold_left (fun n d -> if d > 8 then n + 1 else n) 0 diff in
+    Alcotest.(check bool) "some motion" true (changed > 0);
+    Alcotest.(check bool) "mostly static" true
+      (changed < Array.length diff / 2)
+  | _ -> Alcotest.fail "expected frames"
+
+let test_speech_properties () =
+  let s = Workloads.Audio_gen.speech ~seed:3 ~samples:800 in
+  Alcotest.(check int) "length" 800 (Array.length s);
+  Alcotest.(check bool) "16-bit range" true
+    (Array.for_all (fun x -> x >= -32768 && x <= 32767) s);
+  Alcotest.(check bool) "nontrivial energy" true
+    (Array.exists (fun x -> abs x > 1000) s);
+  (* short-time correlation: adjacent samples are close relative to range *)
+  let jumps = ref 0 in
+  for k = 1 to 799 do
+    if abs (s.(k) - s.(k - 1)) > 8000 then incr jumps
+  done;
+  Alcotest.(check bool) "smooth" true (!jumps < 40)
+
+let test_tone () =
+  let t = Workloads.Audio_gen.tone ~freq:1000.0 ~samples:80 ~amplitude:1000 in
+  Alcotest.(check bool) "bounded by amplitude" true
+    (Array.for_all (fun x -> abs x <= 1000) t)
+
+let test_text_roundtrip () =
+  let s = Workloads.Text_gen.generate ~seed:4 ~bytes:101 in
+  Alcotest.(check int) "length" 101 (String.length s);
+  Alcotest.(check bool) "printable ascii" true
+    (String.for_all (fun c -> Char.code c >= 32 && Char.code c < 127) s);
+  let words = Workloads.Text_gen.to_words s in
+  let back = Workloads.Text_gen.of_words (Array.map Int32.to_int words) in
+  (* padded to a word multiple with spaces *)
+  Alcotest.(check string) "roundtrip" (s ^ "   ") back
+
+let test_network_properties () =
+  let net = Workloads.Network_gen.generate ~seed:5 ~layers:4 ~per_layer:4 ~supply:8 in
+  Alcotest.(check bool) "arcs positive costs" true
+    (Array.for_all (fun (_, _, cap, cost) -> cap > 0 && cost > 0)
+       net.Workloads.Network_gen.arcs);
+  Alcotest.(check bool) "nodes in range" true
+    (Array.for_all
+       (fun (u, v, _, _) ->
+         u >= 0 && v >= 0
+         && u < net.Workloads.Network_gen.n_nodes
+         && v < net.Workloads.Network_gen.n_nodes)
+       net.Workloads.Network_gen.arcs);
+  Alcotest.(check bool) "source has outgoing capacity" true
+    (Workloads.Network_gen.max_supply net > 0);
+  let net2 = Workloads.Network_gen.generate ~seed:5 ~layers:4 ~per_layer:4 ~supply:8 in
+  Alcotest.(check bool) "deterministic" true
+    (net.Workloads.Network_gen.arcs = net2.Workloads.Network_gen.arcs)
+
+let test_network_is_dag () =
+  (* layered construction: every arc goes strictly forward except from
+     the source / into the sink *)
+  let net = Workloads.Network_gen.generate ~seed:6 ~layers:5 ~per_layer:5 ~supply:10 in
+  let layer node =
+    if node = net.Workloads.Network_gen.source then -1
+    else if node = net.Workloads.Network_gen.sink then max_int
+    else (node - 1) / 5
+  in
+  Alcotest.(check bool) "forward arcs only" true
+    (Array.for_all
+       (fun (u, v, _, _) -> layer u < layer v)
+       net.Workloads.Network_gen.arcs)
+
+let test_thermal_embeds_object () =
+  let obj =
+    {
+      Workloads.Image_gen.width = 8;
+      height = 8;
+      pixels = Array.make 64 200;
+    }
+  in
+  let img =
+    Workloads.Image_gen.thermal ~seed:7 ~width:16 ~height:16 ~obj ~ox:4 ~oy:8
+  in
+  Alcotest.(check int) "object pixel" 200 (Workloads.Image_gen.get img 4 8);
+  Alcotest.(check bool) "background dim" true
+    (Workloads.Image_gen.get img 0 0 < 60)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        ] );
+      ( "images",
+        [
+          Alcotest.test_case "scene" `Quick test_scene_properties;
+          Alcotest.test_case "video motion" `Quick test_video_temporal_correlation;
+          Alcotest.test_case "thermal" `Quick test_thermal_embeds_object;
+        ] );
+      ( "audio",
+        [
+          Alcotest.test_case "speech" `Quick test_speech_properties;
+          Alcotest.test_case "tone" `Quick test_tone;
+        ] );
+      ( "text", [ Alcotest.test_case "roundtrip" `Quick test_text_roundtrip ] );
+      ( "networks",
+        [
+          Alcotest.test_case "properties" `Quick test_network_properties;
+          Alcotest.test_case "dag" `Quick test_network_is_dag;
+        ] );
+    ]
