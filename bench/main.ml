@@ -8,8 +8,12 @@
      dune exec bench/main.exe -- table2 fig4  # selected experiments
      dune exec bench/main.exe -- --quick      # reduced trial counts
      dune exec bench/main.exe -- micro        # only the micro-benchmarks
+     dune exec bench/main.exe -- --jobs 8     # campaign trials on 8 domains
+     dune exec bench/main.exe -- --json out.json  # machine-readable timings
 
-   All campaigns are deterministic for a fixed seed. *)
+   All campaigns are deterministic for a fixed seed and for any --jobs
+   value: trial RNGs derive from the trial index, so the domain fan-out
+   cannot change results. *)
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -19,23 +23,33 @@ let section title =
   say "%s" title;
   say "%s" (String.make 72 '=')
 
+(* Wall-time ledger, for the console trailer and the --json report. *)
+let experiment_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  experiment_times := !experiment_times @ [ (name, Unix.gettimeofday () -. t0) ];
+  r
+
 (* ------------------------------------------------------------------ *)
 (* Experiments.                                                        *)
 
-let run_table2 ~trials loaded =
+let run_table2 ~trials ?jobs loaded =
   section "Table 2 — catastrophic failures with/without control protection";
-  let rows = Harness.Table2.run ~trials loaded in
+  let rows = timed "table2" (fun () -> Harness.Table2.run ~trials ?jobs loaded) in
   say "%s" (Harness.Table2.render rows)
 
-let run_table3 loaded =
+let run_table3 ?jobs loaded =
   section "Table 3 — % of dynamic instructions tagged low-reliability";
-  let rows = Harness.Table3.run loaded in
+  let rows = timed "table3" (fun () -> Harness.Table3.run ?jobs loaded) in
   say "%s" (Harness.Table3.render rows)
 
 let figures :
     (string
     * (?trials:int ->
        ?seed:int ->
+       ?jobs:int ->
        Harness.Experiment.loaded list ->
        Harness.Figures.result))
     list =
@@ -48,38 +62,51 @@ let figures :
     ("fig6", Harness.Figures.fig6);
   ]
 
-let run_figures ~trials ~which loaded =
+let run_figures ~trials ?jobs ~which loaded =
   List.iter
     (fun (id, f) ->
       if which id then begin
         section (String.uppercase_ascii id);
-        say "%s" (Harness.Figures.render (f ?trials:(Some trials) ?seed:None loaded))
+        let r =
+          timed id (fun () -> f ?trials:(Some trials) ?seed:None ?jobs loaded)
+        in
+        say "%s" (Harness.Figures.render r)
       end)
     figures
 
-let run_extensions ~trials loaded =
+let run_extensions ~trials ?jobs loaded =
   section "Cost model — selective vs uniform protection (paper Sec. 5.3)";
-  say "%s"
-    (Harness.Cost_model.render ~mode:Harness.Experiment.Literal
-       (Harness.Cost_model.run ~mode:Harness.Experiment.Literal loaded));
+  let cost =
+    timed "cost_model" (fun () ->
+        Harness.Cost_model.run ?jobs ~mode:Harness.Experiment.Literal loaded)
+  in
+  say "%s" (Harness.Cost_model.render ~mode:Harness.Experiment.Literal cost);
   section "Fault outcome taxonomy (benign / degraded / catastrophic)";
-  say "%s"
-    (Harness.Taxonomy.render ~mode:Harness.Experiment.Literal
-       (Harness.Taxonomy.run ~trials ~mode:Harness.Experiment.Literal loaded))
+  let tax =
+    timed "taxonomy" (fun () ->
+        Harness.Taxonomy.run ~trials ?jobs ~mode:Harness.Experiment.Literal
+          loaded)
+  in
+  say "%s" (Harness.Taxonomy.render ~mode:Harness.Experiment.Literal tax)
 
-let run_ablations ~trials loaded =
+let run_ablations ~trials ?jobs loaded =
   section "Ablation A — address protection";
-  say "%s"
-    (Harness.Ablation.render_address (Harness.Ablation.address ~trials loaded));
+  let a =
+    timed "ablation_address" (fun () ->
+        Harness.Ablation.address ~trials ?jobs loaded)
+  in
+  say "%s" (Harness.Ablation.render_address a);
   section "Ablation B — programmer eligibility marking";
-  say "%s"
-    (Harness.Ablation.render_eligibility
-       (Harness.Ablation.eligibility ~trials ()))
+  let b =
+    timed "ablation_eligibility" (fun () ->
+        Harness.Ablation.eligibility ~trials ?jobs ())
+  in
+  say "%s" (Harness.Ablation.render_eligibility b)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the platform itself.                   *)
 
-let micro () =
+let micro () : (string * float) list =
   section "Micro-benchmarks (Bechamel)";
   let open Bechamel in
   let susan = (Apps.Susan.app.Apps.App.build ~seed:1).Apps.App.prog in
@@ -125,9 +152,9 @@ let micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg [ instance ] elt in
           let est = Analyze.one ols instance raw in
@@ -137,16 +164,95 @@ let micro () =
             | Some _ | None -> nan
           in
           say "  %-32s %14.1f ns/run  (%.3f ms)" (Test.Elt.name elt) ns
-            (ns /. 1e6))
+            (ns /. 1e6);
+          (Test.Elt.name elt, ns))
         (Test.elements test))
     tests
 
 (* ------------------------------------------------------------------ *)
+(* JSON report: per-experiment wall times and micro ns/run, so future
+   changes have a perf trajectory to diff against.                     *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_nan x then "null" else Printf.sprintf "%.3f" x
+
+let write_json (path, oc) ~jobs ~quick ~experiments ~micro ~total =
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"etap-bench/1\",\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"jobs\": %s,\n"
+    (match jobs with None -> "null" | Some j -> string_of_int j);
+  out "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, secs) ->
+      out "    {\"name\": \"%s\", \"wall_s\": %s}%s\n" (json_escape name)
+        (json_float secs)
+        (if i < List.length experiments - 1 then "," else ""))
+    experiments;
+  out "  ],\n";
+  out "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (json_float ns)
+        (if i < List.length micro - 1 then "," else ""))
+    micro;
+  out "  ],\n";
+  out "  \"total_wall_s\": %s\n" (json_float total);
+  out "}\n";
+  close_out oc;
+  say "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
+
+let usage_and_exit msg =
+  prerr_endline msg;
+  prerr_endline
+    "usage: main.exe [--quick] [--jobs N | -j N] [--json PATH] [EXPERIMENT...]";
+  exit 2
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
+  let rec parse (quick, jobs, json, rest) = function
+    | [] -> (quick, jobs, json, List.rev rest)
+    | "--quick" :: tl -> parse (true, jobs, json, rest) tl
+    | ("--jobs" | "-j") :: n :: tl ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> parse (quick, Some j, json, rest) tl
+       | _ -> usage_and_exit ("bad --jobs value: " ^ n))
+    | [ ("--jobs" | "-j") ] -> usage_and_exit "--jobs needs a value"
+    | "--json" :: path :: tl -> parse (quick, jobs, Some path, rest) tl
+    | [ "--json" ] -> usage_and_exit "--json needs a path"
+    | a :: tl -> parse (quick, jobs, json, a :: rest) tl
+  in
+  let quick, jobs, json, args =
+    parse (false, None, None, []) (List.tl (Array.to_list Sys.argv))
+  in
+  (* Open the report up front so a bad path fails before the (possibly
+     long) benchmark run, not after it. *)
+  let json =
+    Option.map
+      (fun path ->
+        match open_out path with
+        | oc -> (path, oc)
+        | exception Sys_error e -> usage_and_exit ("cannot open --json path: " ^ e))
+      json
+  in
   let trials = if quick then 8 else 20 in
   let t2_trials = if quick then 10 else 25 in
   let want name =
@@ -164,16 +270,28 @@ let () =
   let t0 = Unix.gettimeofday () in
   let loaded =
     if needs_apps then begin
-      say "building applications and baselines...";
-      Harness.Experiment.load_all ()
+      say "building applications and baselines... (jobs=%s)"
+        (match jobs with
+         | Some j -> string_of_int j
+         | None -> Printf.sprintf "auto:%d" (Core.Pool.default_jobs ()));
+      timed "load_apps" (fun () -> Harness.Experiment.load_all ?jobs ())
     end
     else []
   in
-  if want "table2" then run_table2 ~trials:t2_trials loaded;
-  if want "table3" then run_table3 loaded;
-  run_figures ~trials ~which:want loaded;
-  if want "ablation" then run_ablations ~trials loaded;
-  if want "extensions" then run_extensions ~trials loaded;
-  if want "micro" then micro ();
+  if want "table2" then run_table2 ~trials:t2_trials ?jobs loaded;
+  if want "table3" then run_table3 ?jobs loaded;
+  run_figures ~trials ?jobs ~which:want loaded;
+  if want "ablation" then run_ablations ~trials ?jobs loaded;
+  if want "extensions" then run_extensions ~trials ?jobs loaded;
+  let micro_results = if want "micro" then timed "micro" micro else [] in
+  let total = Unix.gettimeofday () -. t0 in
   say "";
-  say "total wall time: %.1f s" (Unix.gettimeofday () -. t0)
+  List.iter
+    (fun (name, secs) -> say "  %-24s %7.2f s" name secs)
+    !experiment_times;
+  say "total wall time: %.1f s" total;
+  match json with
+  | None -> ()
+  | Some dest ->
+    write_json dest ~jobs ~quick ~experiments:!experiment_times
+      ~micro:micro_results ~total

@@ -33,6 +33,14 @@ let errors_arg =
   let doc = "Number of single-bit errors to insert per run." in
   Arg.(value & opt int 10 & info [ "e"; "errors" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains to fan campaign trials (and per-app analyses) over. \
+     Defaults to the machine's core count minus one. Results are \
+     bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let literal_arg =
   let doc =
     "Use the paper's literal Section-3 tagging rules (addresses \
@@ -141,7 +149,7 @@ let disasm_cmd =
     Term.(term_result (const action $ app_arg $ func_arg $ seed_arg))
 
 let inject_cmd =
-  let action name seed errors trials literal =
+  let action name seed errors trials literal jobs =
     Result.map
       (fun (app : Apps.App.t) ->
         let b = app.Apps.App.build ~seed in
@@ -153,7 +161,9 @@ let inject_cmd =
         List.iter
           (fun policy ->
             let p = Core.Campaign.prepare target policy in
-            let s = Core.Campaign.run p ~errors ~trials ~seed:(seed + 100) in
+            let s =
+              Core.Campaign.run ?jobs p ~errors ~trials ~seed:(seed + 100)
+            in
             let fids =
               Core.Campaign.fidelities s ~score:(fun r ->
                   b.Apps.App.score ~golden r)
@@ -176,7 +186,7 @@ let inject_cmd =
     Term.(
       term_result
         (const action $ app_arg $ seed_arg $ errors_arg $ trials_arg
-       $ literal_arg))
+       $ literal_arg $ jobs_arg))
 
 let asm_cmd =
   let file_arg =
@@ -220,7 +230,7 @@ let compile_cmd =
   let show_arg =
     Arg.(value & flag & info [ "ir" ] ~doc:"Print the compiled IR.")
   in
-  let action file inject show trials =
+  let action file inject show trials jobs =
     let source = In_channel.with_open_text file In_channel.input_all in
     match Mlang.Parser.parse_program_res source with
     | Error m -> Error (`Msg m)
@@ -243,7 +253,7 @@ let compile_cmd =
             List.iter
               (fun policy ->
                 let p = Core.Campaign.prepare target policy in
-                let s = Core.Campaign.run p ~errors ~trials ~seed:1 in
+                let s = Core.Campaign.run ?jobs p ~errors ~trials ~seed:1 in
                 say "%-18s %d errors x %d: %4.1f%% catastrophic (pool %d)"
                   (Core.Policy.to_string policy)
                   errors s.Core.Campaign.n
@@ -255,32 +265,35 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Compile an Mlang source file; optionally print IR and campaign")
-    Term.(term_result (const action $ file_arg $ inject_arg $ show_arg $ trials_arg))
+    Term.(
+      term_result
+        (const action $ file_arg $ inject_arg $ show_arg $ trials_arg
+       $ jobs_arg))
 
 let table2_cmd =
-  let action trials =
-    let loaded = Harness.Experiment.load_all () in
-    say "%s" (Harness.Table2.render (Harness.Table2.run ~trials loaded))
+  let action trials jobs =
+    let loaded = Harness.Experiment.load_all ?jobs () in
+    say "%s" (Harness.Table2.render (Harness.Table2.run ~trials ?jobs loaded))
   in
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce paper Table 2")
-    Term.(const action $ trials_arg)
+    Term.(const action $ trials_arg $ jobs_arg)
 
 let table3_cmd =
-  let action () =
-    let loaded = Harness.Experiment.load_all () in
-    say "%s" (Harness.Table3.render (Harness.Table3.run loaded))
+  let action jobs =
+    let loaded = Harness.Experiment.load_all ?jobs () in
+    say "%s" (Harness.Table3.render (Harness.Table3.run ?jobs loaded))
   in
   Cmd.v (Cmd.info "table3" ~doc:"Reproduce paper Table 3")
-    Term.(const action $ const ())
+    Term.(const action $ jobs_arg)
 
 let figure_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"1-6")
   in
-  let action n trials =
+  let action n trials jobs =
     if n < 1 || n > 6 then Error (`Msg "figure number must be 1-6")
     else begin
-      let loaded = Harness.Experiment.load_all () in
+      let loaded = Harness.Experiment.load_all ?jobs () in
       let f =
         List.nth
           [
@@ -289,24 +302,25 @@ let figure_cmd =
           ]
           (n - 1)
       in
-      say "%s" (Harness.Figures.render (f ~trials loaded));
+      say "%s" (Harness.Figures.render (f ~trials ?jobs loaded));
       Ok ()
     end
   in
   Cmd.v (Cmd.info "figure" ~doc:"Reproduce one paper figure")
-    Term.(term_result (const action $ n_arg $ trials_arg))
+    Term.(term_result (const action $ n_arg $ trials_arg $ jobs_arg))
 
 let ablation_cmd =
-  let action trials =
-    let loaded = Harness.Experiment.load_all () in
+  let action trials jobs =
+    let loaded = Harness.Experiment.load_all ?jobs () in
     say "%s"
-      (Harness.Ablation.render_address (Harness.Ablation.address ~trials loaded));
+      (Harness.Ablation.render_address
+         (Harness.Ablation.address ~trials ?jobs loaded));
     say "%s"
       (Harness.Ablation.render_eligibility
-         (Harness.Ablation.eligibility ~trials ()))
+         (Harness.Ablation.eligibility ~trials ?jobs ()))
   in
   Cmd.v (Cmd.info "ablation" ~doc:"Run the ablation studies")
-    Term.(const action $ trials_arg)
+    Term.(const action $ trials_arg $ jobs_arg)
 
 let () =
   let info =

@@ -11,6 +11,9 @@ type target = {
   tagging : Tagging.t;
   baseline : Sim.Interp.result;  (* fault-free reference run *)
   lenient : bool;                (* sim-safe sparse-memory model *)
+  profile_memo : (bool array array, int) Hashtbl.t;
+      (* policy mask -> injectable_total: policies with identical masks
+         share one profiling run *)
 }
 
 type prepared = {
@@ -44,17 +47,26 @@ let of_prog ?protect_addresses ?(lenient = true) (prog : Ir.Prog.t) =
   let code = Sim.Code.of_prog prog in
   let tagging = Tagging.compute ?protect_addresses prog in
   let baseline = Sim.Interp.run_exn ~count_exec:true code in
-  { code; tagging; baseline; lenient }
+  { code; tagging; baseline; lenient; profile_memo = Hashtbl.create 4 }
 
 let prepare (t : target) (policy : Policy.t) =
   let tags = Tagging.mask t.tagging policy in
-  (* Profiling pass: count dynamic injectable instructions. *)
-  let injection = Fault_model.profiling_injection ~tags in
-  let r = Sim.Interp.run ~injection t.code in
+  (* Profiling pass: count dynamic injectable instructions. Memoized on
+     the policy mask — distinct policies with the same mask (and
+     repeated [prepare] calls) share one profiling interpretation. *)
   let injectable_total =
-    match r.Sim.Interp.outcome with
-    | Sim.Interp.Done _ -> r.Sim.Interp.injectable_seen
-    | _ -> failwith "profiling run failed"
+    match Hashtbl.find_opt t.profile_memo tags with
+    | Some n -> n
+    | None ->
+      let injection = Fault_model.profiling_injection ~tags in
+      let r = Sim.Interp.run ~injection t.code in
+      let n =
+        match r.Sim.Interp.outcome with
+        | Sim.Interp.Done _ -> r.Sim.Interp.injectable_seen
+        | _ -> failwith "profiling run failed"
+      in
+      Hashtbl.replace t.profile_memo tags n;
+      n
   in
   {
     target = t;
@@ -80,13 +92,21 @@ let run_trial (p : prepared) ~errors ~rng ~index : trial =
     faults_landed = r.Sim.Interp.faults_landed;
   }
 
-let run (p : prepared) ~errors ~trials ~seed : summary =
-  let results = ref [] in
-  for i = 0 to trials - 1 do
-    let rng = Random.State.make [| seed; i; errors; Hashtbl.hash p.policy |] in
-    results := run_trial p ~errors ~rng ~index:i :: !results
-  done;
-  let trials_list = List.rev !results in
+(* Trial [i]'s RNG depends only on [(seed, i, errors, policy)] — not on
+   any other trial — so trials may run in any order, on any domain, and
+   still produce bit-exact results. [Policy.seed_tag] replaces the old
+   [Hashtbl.hash policy] component with a stable explicit encoding
+   (frozen to the same values, so historic outputs are unchanged). *)
+let trial_rng ~seed ~errors ~policy index =
+  Random.State.make [| seed; index; errors; Policy.seed_tag policy |]
+
+let run ?jobs (p : prepared) ~errors ~trials ~seed : summary =
+  let results =
+    Pool.map_n ?jobs trials (fun i ->
+        let rng = trial_rng ~seed ~errors ~policy:p.policy i in
+        run_trial p ~errors ~rng ~index:i)
+  in
+  let trials_list = Array.to_list results in
   let count f = List.length (List.filter f trials_list) in
   {
     trials = trials_list;

@@ -13,6 +13,9 @@ type target = {
   tagging : Tagging.t;
   baseline : Sim.Interp.result;  (** fault-free run, with exec counts *)
   lenient : bool;  (** sim-safe sparse-memory model for injected runs *)
+  profile_memo : (bool array array, int) Hashtbl.t;
+      (** policy mask -> injectable pool size; lets {!prepare} share one
+          profiling run across policies with identical masks *)
 }
 
 type prepared = {
@@ -48,14 +51,21 @@ val of_prog :
 
 val prepare : target -> Policy.t -> prepared
 (** Profiling pass: count injectable dynamic instructions under the
-    policy. *)
+    policy. Memoized per target on the policy mask, so repeated calls
+    (and distinct policies with equal masks) pay for one run. Not
+    domain-safe: call from one domain at a time. *)
 
 val run_trial :
   prepared -> errors:int -> rng:Random.State.t -> index:int -> trial
 
-val run : prepared -> errors:int -> trials:int -> seed:int -> summary
+val run :
+  ?jobs:int -> prepared -> errors:int -> trials:int -> seed:int -> summary
 (** Deterministic: trial [i] uses an RNG derived from
-    [(seed, i, errors, policy)]. *)
+    [(seed, i, errors, policy)] via {!Policy.seed_tag}, so trials are
+    order-independent. [jobs] fans the trials out over that many
+    domains (default [Domain.recommended_domain_count () - 1], clamped
+    to [\[1, trials\]]); the summary is identical for every [jobs]
+    value, assembled in trial-index order. *)
 
 val pct_catastrophic : summary -> float
 

@@ -24,9 +24,15 @@ let make_plan ~rng ~injectable_total ~errors : plan =
   end;
   plan
 
-let injection ~tags ~plan : Sim.Interp.injection = { Sim.Interp.tags; plan }
+(* The interpreter consumes plans as ordinal-sorted parallel arrays
+   (one int compare per injectable execution instead of a hash probe);
+   the draw above stays a Hashtbl for O(1) without-replacement checks
+   and is converted once per trial here. *)
+let injection ~tags ~plan : Sim.Interp.injection =
+  Sim.Interp.injection ~tags
+    ~plan:(Hashtbl.fold (fun ord bit acc -> (ord, bit) :: acc) plan [])
 
 (* An empty plan under real tags: the profiling configuration that
    counts injectable dynamic instructions without perturbing anything. *)
 let profiling_injection ~tags : Sim.Interp.injection =
-  { Sim.Interp.tags; plan = Hashtbl.create 1 }
+  Sim.Interp.injection ~tags ~plan:[]

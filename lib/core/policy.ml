@@ -13,3 +13,16 @@ let to_string = function
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
 let all = [ Protect_control; Protect_nothing; Protect_all ]
+
+(* Per-policy component of the campaign trial seed. Campaigns used to
+   mix in [Hashtbl.hash policy], whose value is an implementation
+   detail of the OCaml runtime (it has changed across compiler
+   versions and differs under flambda's constant folding). These
+   constants freeze the values [Hashtbl.hash] produced on the runtime
+   the seed-era goldens were generated with (OCaml 5.1.1), so every
+   published campaign result stays byte-identical while the encoding
+   itself is now explicit and portable. *)
+let seed_tag = function
+  | Protect_control -> 129913994
+  | Protect_nothing -> 883721435
+  | Protect_all -> 648017920

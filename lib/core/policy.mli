@@ -12,3 +12,9 @@ type t =
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 val all : t list
+
+val seed_tag : t -> int
+(** Stable per-policy component of the campaign trial seed. Fixed
+    constants (frozen to the values [Hashtbl.hash] produced for these
+    variants on the runtime the original goldens used), so campaign
+    outputs do not depend on the runtime's hash function. *)

@@ -1,0 +1,62 @@
+(* Deterministic fan-out of an indexed job set over OCaml 5 domains.
+
+   Campaign trials are embarrassingly parallel *and* order-independent:
+   trial [i] derives its RNG from the trial index, so the result of
+   [f i] does not depend on which domain runs it or when. The pool
+   exploits that with the simplest possible schedule — static striping,
+   no work stealing, no shared queues: stripe [k] of [jobs] computes
+   indices k, k+jobs, k+2*jobs, ... and writes each result into its own
+   slot of a shared results array. Slots are disjoint, so there are no
+   data races; [Domain.join] publishes every write back to the caller.
+
+   Striping (rather than contiguous chunking) keeps the load balanced
+   when cost drifts with the index, while remaining fully deterministic:
+   the returned array is always in index order, bit-exact with a
+   sequential run. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Clamp a requested job count into [1, n]: never more domains than
+   jobs to run, never fewer than one stripe. *)
+let resolve_jobs ?jobs n =
+  let j = match jobs with Some j -> j | None -> default_jobs () in
+  max 1 (min j n)
+
+let map_n ?jobs n (f : int -> 'a) : 'a array =
+  if n <= 0 then [||]
+  else
+    let jobs = resolve_jobs ?jobs n in
+    if jobs = 1 then Array.init n f
+    else begin
+      let results = Array.make n None in
+      let stripe first () =
+        let i = ref first in
+        while !i < n do
+          results.(!i) <- Some (f !i);
+          i := !i + jobs
+        done
+      in
+      let workers =
+        Array.init (jobs - 1) (fun k -> Domain.spawn (stripe (k + 1)))
+      in
+      (* Run stripe 0 on the calling domain, then join every worker
+         even if something raised — leaking a domain would abort the
+         process at exit. The first failure wins. *)
+      let first_failure = ref None in
+      let note e = if Option.is_none !first_failure then first_failure := Some e in
+      (try stripe 0 () with e -> note e);
+      Array.iter
+        (fun d -> try Domain.join d with e -> note e)
+        workers;
+      (match !first_failure with Some e -> raise e | None -> ());
+      Array.map
+        (function Some v -> v | None -> assert false (* all stripes ran *))
+        results
+    end
+
+let map_list ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  match xs with
+  | [] | [ _ ] -> List.map f xs
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.to_list (map_n ?jobs (Array.length arr) (fun i -> f arr.(i)))

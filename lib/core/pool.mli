@@ -1,0 +1,22 @@
+(** Deterministic fan-out over OCaml 5 domains.
+
+    Static striping, no work stealing: stripe [k] of [jobs] computes
+    indices [k, k+jobs, k+2*jobs, ...]. Results come back in index
+    order, so for any order-independent [f] the output is bit-exact
+    with a sequential run regardless of [jobs].
+
+    [f] must not touch shared mutable state (campaign trials qualify:
+    each builds its own RNG, plan and memory image from the index). *)
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core
+    for the orchestrating domain. *)
+
+val map_n : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map_n ?jobs n f] is [[| f 0; ...; f (n-1) |]], computed on
+    [min jobs n] domains (the caller's included). [jobs] defaults to
+    {!default_jobs}[ ()] and is clamped to [\[1, n\]]. Exceptions from
+    any stripe are re-raised after every domain is joined. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_n] over a list, preserving order. *)

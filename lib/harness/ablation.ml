@@ -18,7 +18,7 @@ type address_row = {
   errors : int;
 }
 
-let address ?(errors = 20) ?(trials = 20) ?(seed = 31)
+let address ?(errors = 20) ?(trials = 20) ?(seed = 31) ?jobs
     (loaded : Experiment.loaded list) : address_row list =
   List.map
     (fun (l : Experiment.loaded) ->
@@ -29,8 +29,8 @@ let address ?(errors = 20) ?(trials = 20) ?(seed = 31)
              t.Core.Campaign.baseline.Sim.Interp.exec_counts
       in
       let fail mode =
-        Experiment.pct_catastrophic l ~mode ~policy:Core.Policy.Protect_control
-          ~errors ~trials ~seed
+        Experiment.pct_catastrophic ?jobs l
+          ~mode ~policy:Core.Policy.Protect_control ~errors ~trials ~seed
       in
       {
         app_name = l.Experiment.app.Apps.App.name;
@@ -135,7 +135,7 @@ let pipeline_program ~smooth_eligible ~detect_eligible =
         [ call_ "smooth_all" []; call_ "detect" []; ret (i 0) ];
     ]
 
-let eligibility ?(errors = 6) ?(trials = 30) ?(seed = 37) () :
+let eligibility ?(errors = 6) ?(trials = 30) ?(seed = 37) ?jobs () :
     eligibility_row list =
   List.map
     (fun (config, smooth_eligible, detect_eligible) ->
@@ -154,7 +154,7 @@ let eligibility ?(errors = 6) ?(trials = 30) ?(seed = 37) () :
       in
       let golden_peaks = peak_list golden in
       let prepared = Core.Campaign.prepare target Core.Policy.Protect_control in
-      let s = Core.Campaign.run prepared ~errors ~trials ~seed in
+      let s = Core.Campaign.run ?jobs prepared ~errors ~trials ~seed in
       let recall =
         Core.Campaign.fidelities s ~score:(fun r ->
             let got = peak_list r in

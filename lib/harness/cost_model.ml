@@ -24,9 +24,11 @@ let speedup ~k ~p = k /. ((k *. (1.0 -. p)) +. p)
 
 let selective_cost ~k ~p = (k *. (1.0 -. p)) +. p
 
-let run ~(mode : Experiment.mode) (loaded : Experiment.loaded list) :
+(* Analysis-only (no campaigns): [jobs] fans the per-app target
+   computations out across domains, as in {!Table3.run}. *)
+let run ?jobs ~(mode : Experiment.mode) (loaded : Experiment.loaded list) :
     row list =
-  List.map
+  Core.Pool.map_list ?jobs
     (fun (l : Experiment.loaded) ->
       let t = l.Experiment.target mode in
       let p =

@@ -23,15 +23,24 @@ type loaded = {
   prepared : mode -> Core.Policy.t -> Core.Campaign.prepared;
 }
 
+(* Mutex-protected so the per-app closures may be forced from worker
+   domains (e.g. Table 3 computing its rows in parallel, one app per
+   domain). The lock is held across the compute: concurrent callers of
+   the same memo serialize, distinct apps (distinct memos) do not. *)
 let memo f =
   let tbl = Hashtbl.create 4 in
+  let lock = Mutex.create () in
   fun k ->
-    match Hashtbl.find_opt tbl k with
-    | Some v -> v
-    | None ->
-      let v = f k in
-      Hashtbl.replace tbl k v;
-      v
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match Hashtbl.find_opt tbl k with
+        | Some v -> v
+        | None ->
+          let v = f k in
+          Hashtbl.replace tbl k v;
+          v)
 
 let load ?(seed = 1) (app : Apps.App.t) : loaded =
   let built = app.Apps.App.build ~seed in
@@ -47,12 +56,17 @@ let load ?(seed = 1) (app : Apps.App.t) : loaded =
   let golden = (target Full).Core.Campaign.baseline in
   { app; built; golden; target; prepared = (fun m p -> prepared (m, p)) }
 
-let load_all ?seed () = List.map (load ?seed) Apps.Registry.all
+(* Building an app (workload generation, Mlang compilation, tagging,
+   baseline run) touches no cross-app state, so the builds themselves
+   fan out across domains. *)
+let load_all ?seed ?jobs () =
+  Core.Pool.map_list ?jobs (load ?seed) Apps.Registry.all
 
 (* Catastrophic-failure percentage for one cell of Table 2. *)
-let pct_catastrophic (l : loaded) ~mode ~policy ~errors ~trials ~seed =
+let pct_catastrophic ?jobs (l : loaded) ~mode ~policy ~errors ~trials ~seed =
   let p = l.prepared mode policy in
-  Core.Campaign.pct_catastrophic (Core.Campaign.run p ~errors ~trials ~seed)
+  Core.Campaign.pct_catastrophic
+    (Core.Campaign.run ?jobs p ~errors ~trials ~seed)
 
 (* Fidelity summary of a sweep point: mean fidelity over completed
    trials plus the catastrophic percentage. *)
@@ -64,10 +78,10 @@ type sweep_point = {
   fidelities : float list;
 }
 
-let sweep_point (l : loaded) ~mode ~policy ~errors ~trials ~seed : sweep_point
-    =
+let sweep_point ?jobs (l : loaded) ~mode ~policy ~errors ~trials ~seed :
+    sweep_point =
   let p = l.prepared mode policy in
-  let s = Core.Campaign.run p ~errors ~trials ~seed in
+  let s = Core.Campaign.run ?jobs p ~errors ~trials ~seed in
   let score r = l.built.Apps.App.score ~golden:l.golden r in
   let fidelities = Core.Campaign.fidelities s ~score in
   {
@@ -78,7 +92,7 @@ let sweep_point (l : loaded) ~mode ~policy ~errors ~trials ~seed : sweep_point
     fidelities;
   }
 
-let sweep (l : loaded) ~mode ~policy ~errors_list ~trials ~seed =
+let sweep ?jobs (l : loaded) ~mode ~policy ~errors_list ~trials ~seed =
   List.map
-    (fun errors -> sweep_point l ~mode ~policy ~errors ~trials ~seed)
+    (fun errors -> sweep_point ?jobs l ~mode ~policy ~errors ~trials ~seed)
     errors_list

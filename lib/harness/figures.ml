@@ -27,14 +27,14 @@ let find loaded name =
     (fun (l : Experiment.loaded) -> l.Experiment.app.Apps.App.name = name)
     loaded
 
-let fig1 ?(trials = 20) ?(seed = 21) loaded : result =
+let fig1 ?(trials = 20) ?(seed = 21) ?jobs loaded : result =
   let l = find loaded "susan" in
   let errors_list = [ 0; 100; 550; 920; 1100; 1550; 2300 ] in
   let s policy label =
     {
       label;
       points =
-        Experiment.sweep l ~mode:Experiment.Literal ~policy ~errors_list
+        Experiment.sweep ?jobs l ~mode:Experiment.Literal ~policy ~errors_list
           ~trials ~seed;
     }
   in
@@ -50,7 +50,7 @@ let fig1 ?(trials = 20) ?(seed = 21) loaded : result =
   }
 
 let one_series_fig ~id ~title ~fidelity_name ~app ~errors_list ?(trials = 20)
-    ?(seed = 23) loaded : result =
+    ?(seed = 23) ?jobs loaded : result =
   let l = find loaded app in
   {
     id;
@@ -61,55 +61,55 @@ let one_series_fig ~id ~title ~fidelity_name ~app ~errors_list ?(trials = 20)
         {
           label = "analysis ON";
           points =
-            Experiment.sweep l ~mode:Experiment.Literal
+            Experiment.sweep ?jobs l ~mode:Experiment.Literal
               ~policy:Core.Policy.Protect_control ~errors_list ~trials ~seed;
         };
       ];
   }
 
-let fig2 ?trials ?seed loaded =
+let fig2 ?trials ?seed ?jobs loaded =
   one_series_fig ~id:"fig2"
     ~title:"Figure 2: MPEG — % bad frames and % failed runs vs errors"
     ~fidelity_name:"% bad frames (threshold 10%)" ~app:"mpeg"
     ~errors_list:[ 0; 50; 150; 300; 500 ]
-    ?trials ?seed loaded
+    ?trials ?seed ?jobs loaded
 
-let fig3 ?trials ?seed loaded =
+let fig3 ?trials ?seed ?jobs loaded =
   one_series_fig ~id:"fig3"
     ~title:"Figure 3: MCF — % optimal schedules and % failed runs vs errors"
     ~fidelity_name:"schedule quality (100 = optimal)" ~app:"mcf"
     ~errors_list:[ 0; 1; 5; 20; 50; 150; 300 ]
-    ?trials ?seed loaded
+    ?trials ?seed ?jobs loaded
 
-let fig4 ?trials ?seed loaded =
+let fig4 ?trials ?seed ?jobs loaded =
   one_series_fig ~id:"fig4"
     ~title:"Figure 4: Blowfish — % bytes correct and % failed runs vs errors"
     ~fidelity_name:"% bytes correct" ~app:"blowfish"
     ~errors_list:[ 0; 5; 10; 20; 30; 40 ]
-    ?trials ?seed loaded
+    ?trials ?seed ?jobs loaded
 
-let fig5 ?trials ?seed loaded =
+let fig5 ?trials ?seed ?jobs loaded =
   one_series_fig ~id:"fig5"
     ~title:"Figure 5: GSM — % SNR from optimal and % failed runs vs errors"
     ~fidelity_name:"% SNR from optimal" ~app:"gsm"
     ~errors_list:[ 0; 5; 10; 20; 30; 40 ]
-    ?trials ?seed loaded
+    ?trials ?seed ?jobs loaded
 
-let fig6 ?(trials = 40) ?seed loaded =
+let fig6 ?(trials = 40) ?seed ?jobs loaded =
   one_series_fig ~id:"fig6"
     ~title:"Figure 6: ART — % images recognized and % failed runs vs errors"
     ~fidelity_name:"% recognized" ~app:"art"
     ~errors_list:[ 0; 1; 2; 3; 4 ]
-    ~trials ?seed loaded
+    ~trials ?seed ?jobs loaded
 
-let all ?trials ?seed loaded =
+let all ?trials ?seed ?jobs loaded =
   [
-    fig1 ?trials ?seed loaded;
-    fig2 ?trials ?seed loaded;
-    fig3 ?trials ?seed loaded;
-    fig4 ?trials ?seed loaded;
-    fig5 ?trials ?seed loaded;
-    fig6 ?trials ?seed loaded;
+    fig1 ?trials ?seed ?jobs loaded;
+    fig2 ?trials ?seed ?jobs loaded;
+    fig3 ?trials ?seed ?jobs loaded;
+    fig4 ?trials ?seed ?jobs loaded;
+    fig5 ?trials ?seed ?jobs loaded;
+    fig6 ?trials ?seed ?jobs loaded;
   ]
 
 let render (r : result) : string =

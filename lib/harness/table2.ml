@@ -38,7 +38,7 @@ let cells =
     ("adpcm", 56, 8.0, 53.5);
   ]
 
-let run ?(trials = 25) ?(seed = 11) (loaded : Experiment.loaded list) :
+let run ?(trials = 25) ?(seed = 11) ?jobs (loaded : Experiment.loaded list) :
     row list =
   List.filter_map
     (fun (name, errors, paper_with, paper_without) ->
@@ -50,7 +50,8 @@ let run ?(trials = 25) ?(seed = 11) (loaded : Experiment.loaded list) :
       | None -> None
       | Some l ->
         let pct mode policy =
-          Experiment.pct_catastrophic l ~mode ~policy ~errors ~trials ~seed
+          Experiment.pct_catastrophic ?jobs l ~mode ~policy ~errors ~trials
+            ~seed
         in
         Some
           {

@@ -20,8 +20,11 @@ let paper_pcts =
     ("adpcm", 93.26); ("gsm", 19.6); ("art", 70.8);
   ]
 
-let run (loaded : Experiment.loaded list) : row list =
-  List.map
+(* No campaigns here, but each row forces the app's Literal-mode target
+   (tagging + profiling run) — independent work per app, so rows fan
+   out across domains. *)
+let run ?jobs (loaded : Experiment.loaded list) : row list =
+  Core.Pool.map_list ?jobs
     (fun (l : Experiment.loaded) ->
       let name = l.Experiment.app.Apps.App.name in
       let frac mode =

@@ -22,12 +22,12 @@ type row = {
 
 let epsilon = 1e-9
 
-let run ?(errors = 10) ?(trials = 30) ?(seed = 41)
+let run ?(errors = 10) ?(trials = 30) ?(seed = 41) ?jobs
     ~(mode : Experiment.mode) (loaded : Experiment.loaded list) : row list =
   List.map
     (fun (l : Experiment.loaded) ->
       let p = l.Experiment.prepared mode Core.Policy.Protect_control in
-      let s = Core.Campaign.run p ~errors ~trials ~seed in
+      let s = Core.Campaign.run ?jobs p ~errors ~trials ~seed in
       let golden = l.Experiment.golden in
       let self_score =
         l.Experiment.built.Apps.App.score ~golden golden

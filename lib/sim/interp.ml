@@ -9,12 +9,35 @@
    instructions* to bit positions. When execution reaches a planned
    ordinal, the bit is flipped in the just-computed destination value
    before write-back, and the corruption then propagates
-   architecturally. *)
+   architecturally.
+
+   The plan is kept as a pair of parallel arrays sorted by ordinal and
+   consumed with a monotone cursor: ordinals are assigned in increasing
+   order, so "is this ordinal planned?" is a single integer compare
+   against the next pending entry instead of a hash probe on every
+   injectable execution — the dominant cost of a campaign, since plans
+   hold only a handful of entries while injectable executions number in
+   the hundreds of thousands. *)
 
 type injection = {
-  tags : bool array array;      (* fid -> body index -> injectable *)
-  plan : (int, int) Hashtbl.t;  (* injectable ordinal -> bit to flip *)
+  tags : bool array array;  (* fid -> body index -> injectable *)
+  plan_ords : int array;    (* planned ordinals, strictly increasing *)
+  plan_bits : int array;    (* bit to flip, parallel to [plan_ords] *)
 }
+
+let injection ~tags ~plan : injection =
+  let plan = List.sort (fun (a, _) (b, _) -> compare (a : int) b) plan in
+  let n = List.length plan in
+  let ords = Array.make n 0 and bits = Array.make n 0 in
+  List.iteri
+    (fun i (o, b) ->
+      if o < 0 then invalid_arg "Interp.injection: negative ordinal";
+      if i > 0 && ords.(i - 1) = o then
+        invalid_arg "Interp.injection: duplicate ordinal";
+      ords.(i) <- o;
+      bits.(i) <- b)
+    plan;
+  { tags; plan_ords = ords; plan_bits = bits }
 
 type outcome =
   | Done of Value.t option
@@ -85,20 +108,48 @@ let f2i (x : float) =
     raise (Trap.Error (Trap.Float_to_int_overflow x));
   int_of_float (Float.trunc x)
 
+let no_counts : int array = [||]
+
 let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     (code : Code.t) : result =
   let memory = Memory.of_prog ?lenient code.Code.prog in
   let dyn = ref 0 in
   let inj_seen = ref 0 in
   let landed = ref 0 in
+  (* Per-function execution counters are only materialized when
+     requested: campaigns run hundreds of trials per prepared target
+     and none of them profiles. *)
   let exec_counts =
-    Array.map
-      (fun (df : Code.dfunc) -> Array.make (Array.length df.Code.dbody) 0)
-      code.Code.funcs
+    if count_exec then
+      Array.map
+        (fun (df : Code.dfunc) -> Array.make (Array.length df.Code.dbody) 0)
+        code.Code.funcs
+    else [||]
   in
-  let plan =
-    match injection with Some { plan; _ } -> plan | None -> Hashtbl.create 1
+  (* Sorted plan + monotone cursor. [next_planned] is the smallest
+     not-yet-reached planned ordinal (max_int when exhausted), so the
+     hot path pays one compare per injectable execution. *)
+  let plan_ords, plan_bits =
+    match injection with
+    | Some { plan_ords; plan_bits; _ } -> (plan_ords, plan_bits)
+    | None -> (no_counts, no_counts)
   in
+  let plan_len = Array.length plan_ords in
+  let cursor = ref 0 in
+  let next_planned = ref (if plan_len > 0 then plan_ords.(0) else max_int) in
+  let advance_plan () =
+    let c = !cursor + 1 in
+    cursor := c;
+    next_planned :=
+      (if c < plan_len then Array.unsafe_get plan_ords c else max_int);
+    incr landed;
+    Array.unsafe_get plan_bits (c - 1)
+  in
+  (* [has_injection] is hoisted out of the hot path: with no injection
+     the per-instruction hook is a single immutable-bool test instead
+     of an option dereference per executed definition. *)
+  let all_tags = match injection with Some { tags; _ } -> tags | None -> [||] in
+  let has_injection = Array.length all_tags > 0 in
   let rec call depth fid set_args : Value.t option =
     if depth > max_call_depth then
       raise (Trap.Error (Trap.Call_stack_overflow depth));
@@ -108,41 +159,29 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     set_args iregs fregs;
     let body = df.Code.dbody in
     let len = Array.length body in
-    let counts = exec_counts.(fid) in
-    let ftags =
-      match injection with Some { tags; _ } -> Some tags.(fid) | None -> None
-    in
+    let counts = if count_exec then exec_counts.(fid) else no_counts in
+    let ftags = if has_injection then all_tags.(fid) else [||] in
     (* Fault hook: called with the body index of the defining
        instruction and the freshly computed value. *)
     let inject_i pc v =
-      match ftags with
-      | None -> v
-      | Some tags ->
-        if Array.unsafe_get tags pc then begin
-          let ord = !inj_seen in
-          incr inj_seen;
-          match Hashtbl.find_opt plan ord with
-          | Some bit ->
-            incr landed;
-            Value.flip_int ~bit:(bit land 31) v
-          | None -> v
-        end
+      if has_injection && Array.unsafe_get ftags pc then begin
+        let ord = !inj_seen in
+        incr inj_seen;
+        if ord = !next_planned then
+          Value.flip_int ~bit:(advance_plan () land 31) v
         else v
+      end
+      else v
     in
     let inject_f pc x =
-      match ftags with
-      | None -> x
-      | Some tags ->
-        if Array.unsafe_get tags pc then begin
-          let ord = !inj_seen in
-          incr inj_seen;
-          match Hashtbl.find_opt plan ord with
-          | Some bit ->
-            incr landed;
-            Value.flip_float ~bit:(bit land 63) x
-          | None -> x
-        end
+      if has_injection && Array.unsafe_get ftags pc then begin
+        let ord = !inj_seen in
+        incr inj_seen;
+        if ord = !next_planned then
+          Value.flip_float ~bit:(advance_plan () land 63) x
         else x
+      end
+      else x
     in
     let rec loop pc : Value.t option =
       if pc >= len then

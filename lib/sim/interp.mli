@@ -7,12 +7,23 @@
     executions of injectable instructions*. When execution reaches a
     planned ordinal, the chosen bit is flipped in the just-computed
     destination value before write-back; the corruption then
-    propagates architecturally. *)
+    propagates architecturally.
+
+    The plan is stored pre-sorted by ordinal and consumed with a
+    monotone cursor, so the per-execution check is one integer compare
+    (ordinals are assigned in increasing order). Build values with
+    {!injection} rather than filling the record directly. *)
 
 type injection = {
-  tags : bool array array;      (** fid -> body index -> injectable *)
-  plan : (int, int) Hashtbl.t;  (** injectable ordinal -> bit *)
+  tags : bool array array;  (** fid -> body index -> injectable *)
+  plan_ords : int array;    (** planned ordinals, strictly increasing *)
+  plan_bits : int array;    (** bit to flip, parallel to [plan_ords] *)
 }
+
+val injection : tags:bool array array -> plan:(int * int) list -> injection
+(** [injection ~tags ~plan] sorts the [(ordinal, bit)] pairs by
+    ordinal. Raises [Invalid_argument] on a negative or duplicate
+    ordinal. *)
 
 type outcome =
   | Done of Value.t option  (** entry function returned *)
@@ -26,8 +37,8 @@ type result = {
   faults_landed : int;
   memory : Memory.t;
   exec_counts : int array array;
-      (** per-function, per-body-index execution counts; populated when
-          [count_exec] was set *)
+      (** per-function, per-body-index execution counts; populated only
+          when [count_exec] was set (empty array otherwise) *)
 }
 
 exception Timeout_exn

@@ -352,6 +352,71 @@ let tagging_soundness_prop =
              | _ -> false)
            (List.init 5 Fun.id))
 
+(* Parallel determinism: the per-trial RNG derivation makes trials
+   order-independent, so any jobs count must yield the same summary,
+   trial for trial. Compare the observable content of each trial
+   (classification, fault counts, dynamic length of completed runs). *)
+let trial_fingerprint (t : Core.Campaign.trial) =
+  let dyn =
+    match t.Core.Campaign.outcome with
+    | Core.Outcome.Completed r -> r.Sim.Interp.dyn_count
+    | Core.Outcome.Crash _ | Core.Outcome.Infinite -> -1
+  in
+  Printf.sprintf "%d/%s/%d/%d/%d" t.Core.Campaign.index
+    (Core.Outcome.to_string t.Core.Campaign.outcome)
+    t.Core.Campaign.faults_requested t.Core.Campaign.faults_landed dyn
+
+let test_campaign_jobs_bit_exact () =
+  let prog = Mlang.Compile.to_ir gcd_mlang in
+  let target = Core.Campaign.of_prog prog in
+  let p = Core.Campaign.prepare target Core.Policy.Protect_nothing in
+  let fingerprints jobs =
+    let s = Core.Campaign.run ~jobs p ~errors:2 ~trials:13 ~seed:5 in
+    ( List.map trial_fingerprint s.Core.Campaign.trials,
+      ( s.Core.Campaign.n,
+        s.Core.Campaign.crashes,
+        s.Core.Campaign.infinite,
+        s.Core.Campaign.completed ) )
+  in
+  let ref_trials, ref_counts = fingerprints 1 in
+  List.iter
+    (fun jobs ->
+      let trials, counts = fingerprints jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "jobs=%d trials identical" jobs)
+        ref_trials trials;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d counts identical" jobs)
+        true (counts = ref_counts))
+    [ 2; 4; 13 ]
+
+(* The explicit seed encoding must stay frozen: these constants are
+   what [Hashtbl.hash] produced on the runtime the goldens were made
+   with, and every published campaign number depends on them. *)
+let test_policy_seed_tag_frozen () =
+  Alcotest.(check int) "protect-control" 129913994
+    (Core.Policy.seed_tag Core.Policy.Protect_control);
+  Alcotest.(check int) "protect-nothing" 883721435
+    (Core.Policy.seed_tag Core.Policy.Protect_nothing);
+  Alcotest.(check int) "protect-all" 648017920
+    (Core.Policy.seed_tag Core.Policy.Protect_all)
+
+(* prepare's profiling memo: same mask -> shared pool count, and the
+   memo keys on mask content, so distinct policies with identical
+   masks hit the cache. *)
+let test_prepare_memoizes_profiling () =
+  let prog = Mlang.Compile.to_ir gcd_mlang in
+  let target = Core.Campaign.of_prog prog in
+  let p1 = Core.Campaign.prepare target Core.Policy.Protect_control in
+  let p2 = Core.Campaign.prepare target Core.Policy.Protect_control in
+  Alcotest.(check int) "same pool" p1.Core.Campaign.injectable_total
+    p2.Core.Campaign.injectable_total;
+  Alcotest.(check int) "one memo entry per distinct mask" 1
+    (Hashtbl.length target.Core.Campaign.profile_memo);
+  ignore (Core.Campaign.prepare target Core.Policy.Protect_nothing);
+  Alcotest.(check int) "second mask, second entry" 2
+    (Hashtbl.length target.Core.Campaign.profile_memo)
+
 let test_outcome_classification () =
   Alcotest.(check bool) "crash catastrophic" true
     (Core.Outcome.is_catastrophic (Core.Outcome.Crash Sim.Trap.Division_by_zero));
@@ -395,6 +460,12 @@ let () =
           Alcotest.test_case "unprotected diverges" `Quick
             test_unprotected_can_diverge;
           QCheck_alcotest.to_alcotest tagging_soundness_prop;
+          Alcotest.test_case "parallel jobs bit-exact" `Quick
+            test_campaign_jobs_bit_exact;
+          Alcotest.test_case "policy seed tags frozen" `Quick
+            test_policy_seed_tag_frozen;
+          Alcotest.test_case "prepare memoizes profiling" `Quick
+            test_prepare_memoizes_profiling;
           Alcotest.test_case "outcome classes" `Quick
             test_outcome_classification;
         ] );

@@ -1,0 +1,69 @@
+(* Tests for the domain pool: bit-exact determinism across job counts,
+   clamping, order preservation and exception propagation. *)
+
+let seq n f = Array.init n f
+
+let test_matches_sequential () =
+  let f i = (i * 2654435761) land 0xFFFF in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d equals sequential" jobs)
+        (seq 37 f)
+        (Core.Pool.map_n ~jobs 37 f))
+    [ 1; 2; 3; 4; 8; 37; 100 ]
+
+let test_empty_and_small () =
+  Alcotest.(check (array int)) "n=0" [||] (Core.Pool.map_n ~jobs:4 0 Fun.id);
+  Alcotest.(check (array int)) "n=1" [| 0 |] (Core.Pool.map_n ~jobs:4 1 Fun.id);
+  (* a requested job count below 1 clamps to a sequential run *)
+  Alcotest.(check (array int))
+    "jobs=0 clamps" (seq 5 Fun.id)
+    (Core.Pool.map_n ~jobs:0 5 Fun.id);
+  Alcotest.(check (array int))
+    "negative jobs clamp" (seq 5 Fun.id)
+    (Core.Pool.map_n ~jobs:(-3) 5 Fun.id)
+
+let test_map_list_order () =
+  Alcotest.(check (list string))
+    "order preserved"
+    [ "a!"; "b!"; "c!"; "d!"; "e!" ]
+    (Core.Pool.map_list ~jobs:3 (fun s -> s ^ "!") [ "a"; "b"; "c"; "d"; "e" ])
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match Core.Pool.map_n ~jobs 16 (fun i -> if i = 11 then raise (Boom i) else i) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 11 -> ()
+      | exception e -> raise e)
+    [ 1; 4 ]
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one stripe" true (Core.Pool.default_jobs () >= 1)
+
+(* The contract the campaign runner relies on: results land in index
+   order even though stripes interleave arbitrarily in time. *)
+let pool_determinism_prop =
+  QCheck.Test.make ~name:"map_n deterministic for any (n, jobs)" ~count:60
+    QCheck.(pair (int_bound 64) (int_range 1 9))
+    (fun (n, jobs) ->
+      let f i = Hashtbl.hash (i, n) in
+      Core.Pool.map_n ~jobs n f = seq n f)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "empty and clamping" `Quick test_empty_and_small;
+          Alcotest.test_case "map_list order" `Quick test_map_list_order;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+          QCheck_alcotest.to_alcotest pool_determinism_prop;
+        ] );
+    ]

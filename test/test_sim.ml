@@ -288,9 +288,8 @@ let test_injection_exact () =
   let p = Prog.make ~globals:[] [ f ] in
   let code = Sim.Code.of_prog p in
   let tags = [| [| true; false |] |] in
-  let plan = Hashtbl.create 1 in
-  Hashtbl.replace plan 0 1;
-  let r = Sim.Interp.run ~injection:{ Sim.Interp.tags; plan } code in
+  let injection = Sim.Interp.injection ~tags ~plan:[ (0, 1) ] in
+  let r = Sim.Interp.run ~injection code in
   (match r.Sim.Interp.outcome with
    | Sim.Interp.Done (Some (Sim.Value.I 7)) -> ()
    | _ -> Alcotest.fail "expected corrupted 7");
@@ -306,11 +305,68 @@ let test_injection_counts_only_tagged () =
   let code = Sim.Code.of_prog p in
   let tags = [| [| false; true; false; false |] |] in
   let r =
-    Sim.Interp.run
-      ~injection:{ Sim.Interp.tags; plan = Hashtbl.create 1 }
-      code
+    Sim.Interp.run ~injection:(Sim.Interp.injection ~tags ~plan:[]) code
   in
   Alcotest.(check int) "only tagged counted" 1 r.Sim.Interp.injectable_seen
+
+(* The sorted-plan/monotone-cursor path must land exactly the faults a
+   per-ordinal lookup (the old Hashtbl implementation) would: every
+   planned ordinal below the injectable count is applied once, plan
+   order does not matter, and ordinals past the end of the run are
+   ignored without derailing the cursor. *)
+let test_multi_fault_plan_matches_lookup () =
+  (* main: r0..r3 loaded (all injectable), returns r0+r1+r2+r3. *)
+  let r3 = Reg.int 3 in
+  let f =
+    Func.make ~name:"main" ~params:[] ~ret:(Some Ty.I32)
+      [
+        Instr.Li (r0, 1l); Instr.Li (r1, 1l); Instr.Li (r2, 1l);
+        Instr.Li (r3, 1l);
+        Instr.Bin (Instr.Add, r0, r0, r1);
+        Instr.Bin (Instr.Add, r0, r0, r2);
+        Instr.Bin (Instr.Add, r0, r0, r3);
+        Instr.Ret (Some r0);
+      ]
+  in
+  let p = Prog.make ~globals:[] [ f ] in
+  let code = Sim.Code.of_prog p in
+  let tags = [| [| true; true; true; true; false; false; false; false |] |] in
+  (* Reference semantics, ordinal by ordinal: flipping bit b of an
+     ordinal's value XORs the final sum with the same delta whichever
+     Li it hits (all hold 1, and the adds are untagged). *)
+  let run_with plan =
+    Sim.Interp.run ~injection:(Sim.Interp.injection ~tags ~plan) code
+  in
+  let value r =
+    match r.Sim.Interp.outcome with
+    | Sim.Interp.Done (Some (Sim.Value.I v)) -> v
+    | _ -> Alcotest.fail "expected an int return"
+  in
+  (* ordinal 5 exceeds injectable_seen (4): it must not land, and must
+     not block later entries from matching (none here). *)
+  let plan = [ (0, 1); (2, 2); (3, 0); (5, 7) ] in
+  let r = run_with plan in
+  Alcotest.(check int) "injectable pool" 4 r.Sim.Interp.injectable_seen;
+  Alcotest.(check int) "three land, overflow ignored" 3
+    r.Sim.Interp.faults_landed;
+  (* 1+1+1+1 with ordinal 0 -> 1 xor 2 = 3, ordinal 2 -> 1 xor 4 = 5,
+     ordinal 3 -> 1 xor 1 = 0: sum = 3 + 1 + 5 + 0 *)
+  Alcotest.(check int) "exact corruption" 9 (value r);
+  (* plan list order is irrelevant: the constructor sorts *)
+  List.iter
+    (fun permuted ->
+      let r' = run_with permuted in
+      Alcotest.(check int) "same result, permuted plan" (value r) (value r');
+      Alcotest.(check int) "same landed count" r.Sim.Interp.faults_landed
+        r'.Sim.Interp.faults_landed)
+    [
+      [ (5, 7); (3, 0); (2, 2); (0, 1) ];
+      [ (2, 2); (0, 1); (5, 7); (3, 0) ];
+    ];
+  (* duplicate ordinals are rejected rather than silently dropped *)
+  Alcotest.check_raises "duplicate ordinal"
+    (Invalid_argument "Interp.injection: duplicate ordinal") (fun () ->
+      ignore (Sim.Interp.injection ~tags ~plan:[ (1, 0); (1, 3) ]))
 
 let test_exec_counts () =
   let body =
@@ -453,6 +509,8 @@ let () =
           Alcotest.test_case "exact flip" `Quick test_injection_exact;
           Alcotest.test_case "counts only tagged" `Quick
             test_injection_counts_only_tagged;
+          Alcotest.test_case "multi-fault plan matches lookup" `Quick
+            test_multi_fault_plan_matches_lookup;
           Alcotest.test_case "exec counts" `Quick test_exec_counts;
         ] );
       ( "properties",
