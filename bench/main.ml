@@ -171,51 +171,34 @@ let micro () : (string * float) list =
 
 (* ------------------------------------------------------------------ *)
 (* JSON report: per-experiment wall times and micro ns/run, so future
-   changes have a perf trajectory to diff against.                     *)
+   changes have a perf trajectory to diff against. Shares the report
+   layer's JSON printer, which renders every non-finite float (nan
+   from a failed OLS fit, inf from a zero-length timing) as null —
+   never a bare token that would break a JSON parser.                  *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_float x =
-  if Float.is_nan x then "null" else Printf.sprintf "%.3f" x
+let round3 x = Float.round (x *. 1000.0) /. 1000.0
 
 let write_json (path, oc) ~jobs ~quick ~experiments ~micro ~total =
-  let out fmt = Printf.fprintf oc fmt in
-  out "{\n";
-  out "  \"schema\": \"etap-bench/1\",\n";
-  out "  \"quick\": %b,\n" quick;
-  out "  \"jobs\": %s,\n"
-    (match jobs with None -> "null" | Some j -> string_of_int j);
-  out "  \"experiments\": [\n";
-  List.iteri
-    (fun i (name, secs) ->
-      out "    {\"name\": \"%s\", \"wall_s\": %s}%s\n" (json_escape name)
-        (json_float secs)
-        (if i < List.length experiments - 1 then "," else ""))
-    experiments;
-  out "  ],\n";
-  out "  \"micro\": [\n";
-  List.iteri
-    (fun i (name, ns) ->
-      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
-        (json_float ns)
-        (if i < List.length micro - 1 then "," else ""))
-    micro;
-  out "  ],\n";
-  out "  \"total_wall_s\": %s\n" (json_float total);
-  out "}\n";
+  let open Report.Json in
+  let timing_rows key rows =
+    Arr
+      (List.map
+         (fun (name, v) ->
+           Obj [ ("name", Str name); (key, Float (round3 v)) ])
+         rows)
+  in
+  let doc =
+    Obj
+      [
+        ("schema", Str "etap-bench/1");
+        ("quick", Bool quick);
+        ("jobs", of_int_opt jobs);
+        ("experiments", timing_rows "wall_s" experiments);
+        ("micro", timing_rows "ns_per_run" micro);
+        ("total_wall_s", Float (round3 total));
+      ]
+  in
+  Out_channel.output_string oc (to_string doc);
   close_out oc;
   say "wrote %s" path
 

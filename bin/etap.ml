@@ -48,6 +48,27 @@ let literal_arg =
   in
   Arg.(value & flag & info [ "literal" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Also write the result as a machine-readable etap-report/1 JSON \
+     document to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+(* One emitter for every subcommand: the text table(s) go to stdout
+   unchanged; [--json PATH] additionally writes the same tables as an
+   etap-report/1 document. *)
+let emit ?json ~command ~meta tables =
+  List.iter (fun t -> say "%s" (Report.to_text t)) tables;
+  match json with
+  | None -> ()
+  | Some path ->
+    Report.write_json ~path (Report.make ~command ~meta tables);
+    say "wrote %s" path
+
+let meta_int k v = (k, Report.Json.Int v)
+let meta_jobs jobs = ("jobs", Report.Json.of_int_opt jobs)
+
 let find_app name =
   match Apps.Registry.find name with
   | Some app -> Ok app
@@ -149,7 +170,7 @@ let disasm_cmd =
     Term.(term_result (const action $ app_arg $ func_arg $ seed_arg))
 
 let inject_cmd =
-  let action name seed errors trials literal jobs =
+  let action name seed errors trials literal jobs json =
     Result.map
       (fun (app : Apps.App.t) ->
         let b = app.Apps.App.build ~seed in
@@ -158,27 +179,78 @@ let inject_cmd =
             b.Apps.App.prog
         in
         let golden = target.Core.Campaign.baseline in
-        List.iter
-          (fun policy ->
-            let p = Core.Campaign.prepare target policy in
-            let s =
-              Core.Campaign.run ?jobs p ~errors ~trials ~seed:(seed + 100)
-            in
-            let fids =
-              Core.Campaign.fidelities s ~score:(fun r ->
-                  b.Apps.App.score ~golden r)
-            in
-            say
-              "%-18s errors=%-4d trials=%-3d catastrophic=%5.1f%% (%d crash, \
-               %d infinite)  mean fidelity=%s"
-              (Core.Policy.to_string policy)
-              errors s.Core.Campaign.n
-              (Core.Campaign.pct_catastrophic s)
-              s.Core.Campaign.crashes s.Core.Campaign.infinite
-              (let m = Core.Campaign.mean fids in
-               if Float.is_nan m then "n/a"
-               else Printf.sprintf "%.1f %s" m b.Apps.App.fidelity_units))
-          [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ])
+        let score r = b.Apps.App.score ~golden r in
+        let summaries =
+          List.map
+            (fun policy ->
+              let p = Core.Campaign.prepare target policy in
+              let s =
+                Core.Campaign.run ?jobs ~score p ~errors ~trials
+                  ~seed:(seed + 100)
+              in
+              say
+                "%-18s errors=%-4d trials=%-3d catastrophic=%5.1f%% (%d \
+                 crash, %d infinite)  mean fidelity=%s"
+                (Core.Policy.to_string policy)
+                errors (Core.Campaign.n s)
+                (Core.Campaign.pct_catastrophic s)
+                (Core.Campaign.crashes s)
+                (Core.Campaign.infinite s)
+                (match Core.Campaign.mean_fidelity s with
+                 | None -> "n/a"
+                 | Some m ->
+                   Printf.sprintf "%.1f %s" m b.Apps.App.fidelity_units);
+              (policy, s))
+            [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ]
+        in
+        match json with
+        | None -> ()
+        | Some path ->
+          let table =
+            Report.table ~id:"inject"
+              ~title:
+                (Printf.sprintf "Fault-injection campaign: %s, %d errors"
+                   name errors)
+              ~columns:
+                [
+                  Report.column ~key:"policy" "policy";
+                  Report.column ~key:"trials" "trials";
+                  Report.column ~key:"pct_catastrophic" "% catastrophic";
+                  Report.column ~key:"crashes" "crashes";
+                  Report.column ~key:"infinite" "infinite";
+                  Report.column ~key:"completed" "completed";
+                  Report.column ~key:"mean_fidelity" "mean fidelity";
+                ]
+              (List.map
+                 (fun (policy, s) ->
+                   [
+                     Report.text (Core.Policy.to_string policy);
+                     Report.int (Core.Campaign.n s);
+                     Report.pct (Core.Campaign.pct_catastrophic s);
+                     Report.int (Core.Campaign.crashes s);
+                     Report.int (Core.Campaign.infinite s);
+                     Report.int (Core.Campaign.completed s);
+                     Report.opt ~missing:"n/a"
+                       (fun m ->
+                         Report.num ~text:(Printf.sprintf "%.1f" m) m)
+                       (Core.Campaign.mean_fidelity s);
+                   ])
+                 summaries)
+          in
+          Report.write_json ~path
+            (Report.make ~command:"inject"
+               ~meta:
+                 [
+                   ("app", Report.Json.Str name);
+                   meta_int "errors" errors;
+                   meta_int "trials" trials;
+                   meta_int "seed" seed;
+                   ("literal", Report.Json.Bool literal);
+                   meta_jobs jobs;
+                   ("fidelity_units", Report.Json.Str b.Apps.App.fidelity_units);
+                 ]
+               [ table ]);
+          say "wrote %s" path)
       (find_app name)
   in
   Cmd.v
@@ -186,7 +258,7 @@ let inject_cmd =
     Term.(
       term_result
         (const action $ app_arg $ seed_arg $ errors_arg $ trials_arg
-       $ literal_arg $ jobs_arg))
+       $ literal_arg $ jobs_arg $ json_arg))
 
 let asm_cmd =
   let file_arg =
@@ -256,7 +328,7 @@ let compile_cmd =
                 let s = Core.Campaign.run ?jobs p ~errors ~trials ~seed:1 in
                 say "%-18s %d errors x %d: %4.1f%% catastrophic (pool %d)"
                   (Core.Policy.to_string policy)
-                  errors s.Core.Campaign.n
+                  errors (Core.Campaign.n s)
                   (Core.Campaign.pct_catastrophic s)
                   p.Core.Campaign.injectable_total)
               [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ]);
@@ -271,26 +343,30 @@ let compile_cmd =
        $ jobs_arg))
 
 let table2_cmd =
-  let action trials jobs =
+  let action trials jobs json =
     let loaded = Harness.Experiment.load_all ?jobs () in
-    say "%s" (Harness.Table2.render (Harness.Table2.run ~trials ?jobs loaded))
+    emit ?json ~command:"table2"
+      ~meta:[ meta_int "trials" trials; meta_jobs jobs ]
+      [ Harness.Table2.to_table (Harness.Table2.run ~trials ?jobs loaded) ]
   in
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce paper Table 2")
-    Term.(const action $ trials_arg $ jobs_arg)
+    Term.(const action $ trials_arg $ jobs_arg $ json_arg)
 
 let table3_cmd =
-  let action jobs =
+  let action jobs json =
     let loaded = Harness.Experiment.load_all ?jobs () in
-    say "%s" (Harness.Table3.render (Harness.Table3.run ?jobs loaded))
+    emit ?json ~command:"table3"
+      ~meta:[ meta_jobs jobs ]
+      [ Harness.Table3.to_table (Harness.Table3.run ?jobs loaded) ]
   in
   Cmd.v (Cmd.info "table3" ~doc:"Reproduce paper Table 3")
-    Term.(const action $ jobs_arg)
+    Term.(const action $ jobs_arg $ json_arg)
 
 let figure_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"1-6")
   in
-  let action n trials jobs =
+  let action n trials jobs json =
     if n < 1 || n > 6 then Error (`Msg "figure number must be 1-6")
     else begin
       let loaded = Harness.Experiment.load_all ?jobs () in
@@ -302,25 +378,30 @@ let figure_cmd =
           ]
           (n - 1)
       in
-      say "%s" (Harness.Figures.render (f ~trials ?jobs loaded));
+      emit ?json ~command:"figure"
+        ~meta:
+          [ meta_int "figure" n; meta_int "trials" trials; meta_jobs jobs ]
+        [ Harness.Figures.to_table (f ~trials ?jobs loaded) ];
       Ok ()
     end
   in
   Cmd.v (Cmd.info "figure" ~doc:"Reproduce one paper figure")
-    Term.(term_result (const action $ n_arg $ trials_arg $ jobs_arg))
+    Term.(term_result (const action $ n_arg $ trials_arg $ jobs_arg $ json_arg))
 
 let ablation_cmd =
-  let action trials jobs =
+  let action trials jobs json =
     let loaded = Harness.Experiment.load_all ?jobs () in
-    say "%s"
-      (Harness.Ablation.render_address
-         (Harness.Ablation.address ~trials ?jobs loaded));
-    say "%s"
-      (Harness.Ablation.render_eligibility
-         (Harness.Ablation.eligibility ~trials ?jobs ()))
+    emit ?json ~command:"ablation"
+      ~meta:[ meta_int "trials" trials; meta_jobs jobs ]
+      [
+        Harness.Ablation.address_table
+          (Harness.Ablation.address ~trials ?jobs loaded);
+        Harness.Ablation.eligibility_table
+          (Harness.Ablation.eligibility ~trials ?jobs ());
+      ]
   in
   Cmd.v (Cmd.info "ablation" ~doc:"Run the ablation studies")
-    Term.(const action $ trials_arg $ jobs_arg)
+    Term.(const action $ trials_arg $ jobs_arg $ json_arg)
 
 let () =
   let info =

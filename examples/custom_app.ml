@@ -84,22 +84,23 @@ let campaign ~label ~smooth_eligible ~detect_eligible =
   in
   let golden_peaks = peak_list golden in
   let prepared = Core.Campaign.prepare target Core.Policy.Protect_control in
-  let summary = Core.Campaign.run prepared ~errors:3 ~trials:50 ~seed:13 in
-  (* recall: how many of the true peaks are still reported? *)
-  let recall =
-    Core.Campaign.fidelities summary ~score:(fun r ->
-        let got = peak_list r in
-        let found = List.filter (fun p -> List.mem p got) golden_peaks in
-        100.0
-        *. float_of_int (List.length found)
-        /. float_of_int (max 1 (List.length golden_peaks)))
+  (* recall: how many of the true peaks are still reported? Scored at
+     the source — the peak lists never leave the worker, only the
+     percentage does. *)
+  let score r =
+    let got = peak_list r in
+    let found = List.filter (fun p -> List.mem p got) golden_peaks in
+    100.0
+    *. float_of_int (List.length found)
+    /. float_of_int (max 1 (List.length golden_peaks))
   in
+  let summary = Core.Campaign.run ~score prepared ~errors:3 ~trials:50 ~seed:13 in
   say
     "%-34s injectable pool %7d  catastrophic %4.0f%%  true peaks still \
      found: %3.0f%%"
     label prepared.Core.Campaign.injectable_total
     (Core.Campaign.pct_catastrophic summary)
-    (Core.Campaign.mean recall)
+    (Option.value ~default:Float.nan (Core.Campaign.mean_fidelity summary))
 
 let () =
   say "sensor pipeline, 6 errors x 50 trials, control protection ON:";

@@ -30,11 +30,19 @@ let () =
   let prepared =
     Core.Campaign.prepare target Core.Policy.Protect_control
   in
+  (* This example renders the corrupted memory image itself, so it uses
+     the [run_trial_result] escape hatch rather than [run] (whose
+     summaries deliberately never retain a [Memory.t]). [trial_rng]
+     reproduces the RNG that [run] would give trial 0. *)
   List.iter
     (fun errors ->
-      let summary = Core.Campaign.run prepared ~errors ~trials:1 ~seed:5 in
-      match summary.Core.Campaign.trials with
-      | [ { Core.Campaign.outcome = Core.Outcome.Completed r; _ } ] ->
+      let rng =
+        Core.Campaign.trial_rng ~seed:5 ~errors
+          ~policy:Core.Policy.Protect_control 0
+      in
+      let r = Core.Campaign.run_trial_result prepared ~errors ~rng in
+      match Core.Outcome.of_result r with
+      | Core.Outcome.Completed ->
         let resp = Sim.Memory.read_global_ints r.Sim.Interp.memory prog "resp" in
         say "";
         say "with %d errors inserted (control protected): PSNR %.1f dB"

@@ -59,18 +59,22 @@ let () =
   (* a fault-injection campaign under each policy *)
   let target = Core.Campaign.of_prog prog in
   let golden_out = Sim.Memory.read_global_ints golden.Sim.Interp.memory prog "output" in
+  (* Scoring happens at the source: each trial's output array is read
+     on the worker and only the percentage survives into the summary. *)
+  let score r =
+    Fidelity.Byte_match.pct_equal golden_out
+      (Sim.Memory.read_global_ints r.Sim.Interp.memory prog "output")
+  in
   List.iter
     (fun policy ->
       let prepared = Core.Campaign.prepare target policy in
-      let summary = Core.Campaign.run prepared ~errors:4 ~trials:40 ~seed:7 in
-      let fidelities =
-        Core.Campaign.fidelities summary ~score:(fun r ->
-            Fidelity.Byte_match.pct_equal golden_out
-              (Sim.Memory.read_global_ints r.Sim.Interp.memory prog "output"))
+      let summary =
+        Core.Campaign.run ~score prepared ~errors:4 ~trials:40 ~seed:7
       in
       say "%-18s 4 errors x 40 trials: %4.0f%% catastrophic, %5.1f%% of \
            outputs correct on completed runs"
         (Core.Policy.to_string policy)
         (Core.Campaign.pct_catastrophic summary)
-        (Core.Campaign.mean fidelities))
+        (Option.value ~default:Float.nan
+           (Core.Campaign.mean_fidelity summary)))
     [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ]

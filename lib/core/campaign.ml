@@ -4,7 +4,16 @@
    a fault-free baseline run per policy. Each trial draws a fresh plan
    (deterministically from [seed] and the trial number), executes, and
    classifies the outcome. "Infinite execution" is a dynamic count
-   above [timeout_factor] x the fault-free count. *)
+   above [timeout_factor] x the fault-free count.
+
+   Trials are scored at the source: the optional [score] callback is
+   applied to the raw simulator result inside the trial, and only the
+   resulting [fidelity : float option] is retained. A summary therefore
+   never holds a live [Memory.t] — campaign memory is O(1) per trial
+   instead of O(memory image), and nothing heavy crosses domains in
+   [Pool.map_n]. Callers that genuinely need the final memory image
+   (output rendering, debugging) use the {!run_trial_result} escape
+   hatch, which returns the raw [Sim.Interp.result] for one trial. *)
 
 type target = {
   code : Sim.Code.t;
@@ -27,16 +36,16 @@ type prepared = {
 type trial = {
   index : int;
   outcome : Outcome.t;
+  dyn_count : int;
   faults_requested : int;
   faults_landed : int;
+  fidelity : float option;
+      (* [Some] iff the trial completed and a scorer was supplied *)
 }
 
 type summary = {
   trials : trial list;
-  n : int;
-  crashes : int;
-  infinite : int;
-  completed : int;
+  stats : Stats.t;
 }
 
 let timeout_factor = 10
@@ -76,20 +85,32 @@ let prepare (t : target) (policy : Policy.t) =
     budget = timeout_factor * t.baseline.Sim.Interp.dyn_count;
   }
 
-let run_trial (p : prepared) ~errors ~rng ~index : trial =
+(* Escape hatch: the raw simulator result of one trial, memory image
+   included. Everything else should go through {!run_trial}/{!run},
+   which discard the image after scoring. *)
+let run_trial_result (p : prepared) ~errors ~rng : Sim.Interp.result =
   let plan =
     Fault_model.make_plan ~rng ~injectable_total:p.injectable_total ~errors
   in
   let injection = Fault_model.injection ~tags:p.tags ~plan in
-  let r =
-    Sim.Interp.run ~injection ~lenient:p.target.lenient ~budget:p.budget
-      p.target.code
+  Sim.Interp.run ~injection ~lenient:p.target.lenient ~budget:p.budget
+    p.target.code
+
+let run_trial ?score (p : prepared) ~errors ~rng ~index : trial =
+  let r = run_trial_result p ~errors ~rng in
+  let outcome = Outcome.of_result r in
+  let fidelity =
+    match (outcome, score) with
+    | Outcome.Completed, Some score -> Some (score r)
+    | _ -> None
   in
   {
     index;
-    outcome = Outcome.of_result r;
+    outcome;
+    dyn_count = r.Sim.Interp.dyn_count;
     faults_requested = errors;
     faults_landed = r.Sim.Interp.faults_landed;
+    fidelity;
   }
 
 (* Trial [i]'s RNG depends only on [(seed, i, errors, policy)] — not on
@@ -100,40 +121,25 @@ let run_trial (p : prepared) ~errors ~rng ~index : trial =
 let trial_rng ~seed ~errors ~policy index =
   Random.State.make [| seed; index; errors; Policy.seed_tag policy |]
 
-let run ?jobs (p : prepared) ~errors ~trials ~seed : summary =
+let run ?jobs ?score (p : prepared) ~errors ~trials ~seed : summary =
   let results =
     Pool.map_n ?jobs trials (fun i ->
         let rng = trial_rng ~seed ~errors ~policy:p.policy i in
-        run_trial p ~errors ~rng ~index:i)
+        run_trial ?score p ~errors ~rng ~index:i)
   in
-  let trials_list = Array.to_list results in
-  let count f = List.length (List.filter f trials_list) in
-  {
-    trials = trials_list;
-    n = List.length trials_list;
-    crashes =
-      count (fun t -> match t.outcome with Outcome.Crash _ -> true | _ -> false);
-    infinite = count (fun t -> t.outcome = Outcome.Infinite);
-    completed =
-      count (fun t ->
-          match t.outcome with Outcome.Completed _ -> true | _ -> false);
-  }
+  let stats =
+    Array.fold_left
+      (fun acc t -> Stats.observe acc t.outcome ~fidelity:t.fidelity)
+      Stats.empty results
+  in
+  { trials = Array.to_list results; stats }
 
-let pct_catastrophic (s : summary) =
-  if s.n = 0 then 0.0
-  else 100.0 *. float_of_int (s.crashes + s.infinite) /. float_of_int s.n
+let n (s : summary) = s.stats.Stats.n
+let crashes (s : summary) = s.stats.Stats.crashes
+let infinite (s : summary) = s.stats.Stats.infinite
+let completed (s : summary) = s.stats.Stats.completed
+let pct_catastrophic (s : summary) = Stats.pct_catastrophic s.stats
+let mean_fidelity (s : summary) = Stats.mean_fidelity s.stats
 
-(* Fidelity of completed trials, via an application-supplied scorer on
-   the final memory image. *)
-let fidelities (s : summary) ~(score : Sim.Interp.result -> float) =
-  List.filter_map
-    (fun t ->
-      match t.outcome with
-      | Outcome.Completed r -> Some (score r)
-      | Outcome.Crash _ | Outcome.Infinite -> None)
-    s.trials
-
-let mean xs =
-  match xs with
-  | [] -> nan
-  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+(* Fidelities of the scored completed trials, in trial order. *)
+let fidelities (s : summary) = List.filter_map (fun t -> t.fidelity) s.trials

@@ -4,9 +4,18 @@
     {[
       let target = Campaign.of_prog prog in
       let prepared = Campaign.prepare target Policy.Protect_control in
-      let summary = Campaign.run prepared ~errors:20 ~trials:40 ~seed:7 in
+      let summary =
+        Campaign.run prepared ~score ~errors:20 ~trials:40 ~seed:7
+      in
       Campaign.pct_catastrophic summary
-    ]} *)
+    ]}
+
+    Trials are scored at the source: [score] runs inside the trial, on
+    the worker domain, and only its [float] survives. A {!summary}
+    never retains a simulator result (in particular no [Memory.t]), so
+    campaigns cost O(1) memory per trial and nothing heavy crosses
+    domains. {!run_trial_result} is the escape hatch for callers that
+    need a trial's final memory image. *)
 
 type target = {
   code : Sim.Code.t;
@@ -29,17 +38,17 @@ type prepared = {
 
 type trial = {
   index : int;
-  outcome : Outcome.t;
+  outcome : Outcome.t;  (** compact classification with crash site *)
+  dyn_count : int;  (** dynamic instructions the trial executed *)
   faults_requested : int;
   faults_landed : int;
+  fidelity : float option;
+      (** [Some] iff the trial completed and a scorer was supplied *)
 }
 
 type summary = {
   trials : trial list;
-  n : int;
-  crashes : int;
-  infinite : int;
-  completed : int;
+  stats : Stats.t;
 }
 
 val timeout_factor : int
@@ -55,22 +64,48 @@ val prepare : target -> Policy.t -> prepared
     (and distinct policies with equal masks) pay for one run. Not
     domain-safe: call from one domain at a time. *)
 
+val run_trial_result :
+  prepared -> errors:int -> rng:Random.State.t -> Sim.Interp.result
+(** Escape hatch: one trial's raw simulator result, memory image
+    included — for output rendering and debugging. Use {!trial_rng} to
+    reproduce the RNG of a {!run} trial. *)
+
 val run_trial :
-  prepared -> errors:int -> rng:Random.State.t -> index:int -> trial
+  ?score:(Sim.Interp.result -> float) ->
+  prepared ->
+  errors:int ->
+  rng:Random.State.t ->
+  index:int ->
+  trial
+
+val trial_rng :
+  seed:int -> errors:int -> policy:Policy.t -> int -> Random.State.t
+(** The RNG {!run} derives for trial [i]: a function of
+    [(seed, i, errors, policy)] only, via {!Policy.seed_tag}. *)
 
 val run :
-  ?jobs:int -> prepared -> errors:int -> trials:int -> seed:int -> summary
-(** Deterministic: trial [i] uses an RNG derived from
-    [(seed, i, errors, policy)] via {!Policy.seed_tag}, so trials are
+  ?jobs:int ->
+  ?score:(Sim.Interp.result -> float) ->
+  prepared ->
+  errors:int ->
+  trials:int ->
+  seed:int ->
+  summary
+(** Deterministic: trial [i] uses {!trial_rng}, so trials are
     order-independent. [jobs] fans the trials out over that many
     domains (default [Domain.recommended_domain_count () - 1], clamped
     to [\[1, trials\]]); the summary is identical for every [jobs]
-    value, assembled in trial-index order. *)
+    value, assembled in trial-index order. [score] is applied on the
+    worker domain to each completed trial. *)
 
+val n : summary -> int
+val crashes : summary -> int
+val infinite : summary -> int
+val completed : summary -> int
 val pct_catastrophic : summary -> float
 
-val fidelities : summary -> score:(Sim.Interp.result -> float) -> float list
-(** Scores of the completed trials only. *)
+val mean_fidelity : summary -> float option
+(** [None] when no completed trial was scored — never [nan]. *)
 
-val mean : float list -> float
-(** Arithmetic mean; [nan] on the empty list. *)
+val fidelities : summary -> float list
+(** Fidelities of the scored completed trials, in trial order. *)

@@ -1,25 +1,49 @@
 (* Classification of an injected run (paper Section 5: "catastrophic
    failures (infinite runs or crashes)" versus completed runs, which
-   are then scored by the application's fidelity measure). *)
+   are then scored by the application's fidelity measure).
+
+   The classification is compact: it never retains the simulator
+   result it was derived from (in particular no [Memory.t] image), so
+   campaigns can hold thousands of classified trials in O(1) memory
+   per trial. Crashes carry structured provenance — the trap and the
+   site (function, pc) the interpreter attributed it to. *)
+
+type site = {
+  func : string;  (* function containing the trapping instruction *)
+  pc : int;       (* body index of that instruction *)
+}
 
 type t =
-  | Crash of Sim.Trap.t
+  | Crash of Sim.Trap.t * site option
   | Infinite  (* exceeded the dynamic-instruction budget *)
-  | Completed of Sim.Interp.result
+  | Completed
 
 let of_result (r : Sim.Interp.result) =
   match r.Sim.Interp.outcome with
-  | Sim.Interp.Trapped t -> Crash t
+  | Sim.Interp.Trapped t ->
+    let site =
+      Option.map (fun (func, pc) -> { func; pc }) r.Sim.Interp.trap_site
+    in
+    Crash (t, site)
   | Sim.Interp.Timeout -> Infinite
-  | Sim.Interp.Done _ -> Completed r
+  | Sim.Interp.Done _ -> Completed
 
 let is_catastrophic = function
   | Crash _ | Infinite -> true
-  | Completed _ -> false
+  | Completed -> false
 
+let site_to_string { func; pc } = Printf.sprintf "%s+%d" func pc
+
+(* Frozen wording: campaign text outputs and golden fingerprints use
+   these strings. Site provenance is [describe]'s business. *)
 let to_string = function
-  | Crash t -> "crash: " ^ Sim.Trap.to_string t
+  | Crash (t, _) -> "crash: " ^ Sim.Trap.to_string t
   | Infinite -> "infinite execution"
-  | Completed _ -> "completed"
+  | Completed -> "completed"
+
+let describe = function
+  | Crash (t, Some s) ->
+    Printf.sprintf "crash: %s at %s" (Sim.Trap.to_string t) (site_to_string s)
+  | (Crash (_, None) | Infinite | Completed) as o -> to_string o
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

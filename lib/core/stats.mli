@@ -1,0 +1,53 @@
+(** Streaming statistics for campaign results.
+
+    {!acc} is a single-pass accumulator over floats (Welford
+    mean/variance, running min/max); {!t} adds the campaign outcome
+    breakdown (crashes / infinite / completed) with a fidelity
+    accumulator over the scored completed trials. Both are immutable
+    and merge associatively, so per-domain partial statistics combine
+    without revisiting trials. *)
+
+type acc
+
+val acc_empty : acc
+val acc_add : acc -> float -> acc
+
+val acc_merge : acc -> acc -> acc
+(** [acc_merge a b] equals (up to floating-point rounding) the
+    accumulator built by adding [a]'s and [b]'s observations to one
+    accumulator. *)
+
+val acc_count : acc -> int
+
+val acc_mean : acc -> float option
+(** [None] when empty — never [nan]. *)
+
+val acc_variance : acc -> float option
+(** Population variance (divide by [n]). *)
+
+val acc_stddev : acc -> float option
+val acc_min : acc -> float option
+val acc_max : acc -> float option
+
+type t = {
+  n : int;  (** trials observed *)
+  crashes : int;
+  infinite : int;
+  completed : int;
+  fidelity : acc;  (** over completed trials that were scored *)
+}
+
+val empty : t
+
+val observe : t -> Outcome.t -> fidelity:float option -> t
+(** Count one classified trial; a [Some] fidelity on a completed trial
+    also feeds the fidelity accumulator. *)
+
+val merge : t -> t -> t
+val catastrophic : t -> int
+
+val pct_catastrophic : t -> float
+(** [0.0] on the empty summary. *)
+
+val mean_fidelity : t -> float option
+(** [None] when no completed trial was scored — never [nan]. *)

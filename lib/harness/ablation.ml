@@ -42,31 +42,36 @@ let address ?(errors = 20) ?(trials = 20) ?(seed = 31) ?jobs
       })
     loaded
 
-let render_address rows =
+let address_table rows : Report.table =
   let errors =
     match rows with [] -> 0 | r :: _ -> r.errors
   in
-  Tablefmt.render
+  Report.table ~id:"ablation_address"
     ~title:
       (Printf.sprintf
          "Ablation A: address protection (catastrophic %% at %d errors, \
           protection ON)"
          errors)
-    ~headers:
+    ~columns:
       [
-        "app"; "% low-rel (ctrl+addr)"; "% low-rel (literal)";
-        "% fail (ctrl+addr)"; "% fail (literal)";
+        Report.column ~key:"app" "app";
+        Report.column ~key:"pct_low_full" "% low-rel (ctrl+addr)";
+        Report.column ~key:"pct_low_literal" "% low-rel (literal)";
+        Report.column ~key:"pct_fail_full" "% fail (ctrl+addr)";
+        Report.column ~key:"pct_fail_literal" "% fail (literal)";
       ]
     (List.map
        (fun r ->
          [
-           r.app_name;
-           Tablefmt.pct r.pct_low_full;
-           Tablefmt.pct r.pct_low_literal;
-           Tablefmt.pct r.pct_fail_full;
-           Tablefmt.pct r.pct_fail_literal;
+           Report.text r.app_name;
+           Report.pct r.pct_low_full;
+           Report.pct r.pct_low_literal;
+           Report.pct r.pct_fail_full;
+           Report.pct r.pct_fail_literal;
          ])
        rows)
+
+let render_address rows = Report.to_text (address_table rows)
 
 (* ------------------------------------------------------------------ *)
 
@@ -82,7 +87,8 @@ type eligibility_row = {
   config : string;
   pool : int;            (* injectable dynamic instructions *)
   pct_fail : float;
-  mean_fidelity : float; (* recall of true peaks on completed runs *)
+  mean_fidelity : float option;
+      (* recall of true peaks on completed runs; None if none completed *)
   errors : int;
 }
 
@@ -154,20 +160,22 @@ let eligibility ?(errors = 6) ?(trials = 30) ?(seed = 37) ?jobs () :
       in
       let golden_peaks = peak_list golden in
       let prepared = Core.Campaign.prepare target Core.Policy.Protect_control in
-      let s = Core.Campaign.run ?jobs prepared ~errors ~trials ~seed in
-      let recall =
-        Core.Campaign.fidelities s ~score:(fun r ->
-            let got = peak_list r in
-            let found = List.filter (fun p -> List.mem p got) golden_peaks in
-            100.0
-            *. float_of_int (List.length found)
-            /. float_of_int (max 1 (List.length golden_peaks)))
+      (* Recall of the true peaks, scored at the source: the peak lists
+         are read out of each trial's memory image on the worker domain
+         and only the percentage survives. *)
+      let score r =
+        let got = peak_list r in
+        let found = List.filter (fun p -> List.mem p got) golden_peaks in
+        100.0
+        *. float_of_int (List.length found)
+        /. float_of_int (max 1 (List.length golden_peaks))
       in
+      let s = Core.Campaign.run ?jobs ~score prepared ~errors ~trials ~seed in
       {
         config;
         pool = prepared.Core.Campaign.injectable_total;
         pct_fail = Core.Campaign.pct_catastrophic s;
-        mean_fidelity = Core.Campaign.mean recall;
+        mean_fidelity = Core.Campaign.mean_fidelity s;
         errors;
       })
     [
@@ -176,23 +184,29 @@ let eligibility ?(errors = 6) ?(trials = 30) ?(seed = 37) ?jobs () :
       ("everything eligible", true, true);
     ]
 
-let render_eligibility rows =
+let eligibility_table rows : Report.table =
   let errors = match rows with [] -> 0 | r :: _ -> r.errors in
-  Tablefmt.render
+  Report.table ~id:"ablation_eligibility"
     ~title:
       (Printf.sprintf
          "Ablation B: eligibility marking on a sensor pipeline (%d errors, \
           protection ON)"
          errors)
-    ~headers:
-      [ "configuration"; "injectable pool"; "% catastrophic";
-        "true-peak recall" ]
+    ~columns:
+      [
+        Report.column ~key:"configuration" "configuration";
+        Report.column ~key:"pool" "injectable pool";
+        Report.column ~key:"pct_catastrophic" "% catastrophic";
+        Report.column ~key:"recall" "true-peak recall";
+      ]
     (List.map
        (fun r ->
          [
-           r.config;
-           string_of_int r.pool;
-           Tablefmt.pct r.pct_fail;
-           Tablefmt.pct r.mean_fidelity;
+           Report.text r.config;
+           Report.int r.pool;
+           Report.pct r.pct_fail;
+           Report.opt ~missing:"n/a (all failed)" Report.pct r.mean_fidelity;
          ])
        rows)
+
+let render_eligibility rows = Report.to_text (eligibility_table rows)

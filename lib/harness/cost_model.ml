@@ -44,25 +44,33 @@ let run ?jobs ~(mode : Experiment.mode) (loaded : Experiment.loaded list) :
       })
     loaded
 
-let render ~(mode : Experiment.mode) rows =
-  Tablefmt.render
+let factor x = Report.num ~text:(Printf.sprintf "%.2fx" x) x
+
+let to_table ~(mode : Experiment.mode) rows : Report.table =
+  Report.table ~id:"cost_model"
     ~title:
       (Printf.sprintf
          "Protection cost model (paper Sec. 5.3): selective vs uniform \
           redundancy, %s tagging"
          (Experiment.mode_name mode))
-    ~headers:
+    ~columns:
       [
-        "app"; "% low-rel"; "speedup vs DMR"; "speedup vs TMR";
-        "selective cost (TMR=3.0)";
+        Report.column ~key:"app" "app";
+        Report.column ~key:"pct_low" "% low-rel";
+        Report.column ~key:"speedup_dmr" "speedup vs DMR";
+        Report.column ~key:"speedup_tmr" "speedup vs TMR";
+        Report.column ~key:"selective_cost_tmr" "selective cost (TMR=3.0)";
       ]
     (List.map
        (fun r ->
          [
-           r.app_name;
-           Tablefmt.pct r.pct_low;
-           Printf.sprintf "%.2fx" r.speedup_dmr;
-           Printf.sprintf "%.2fx" r.speedup_tmr;
-           Printf.sprintf "%.2fx" r.cost_vs_unprotected;
+           Report.text r.app_name;
+           Report.pct r.pct_low;
+           factor r.speedup_dmr;
+           factor r.speedup_tmr;
+           factor r.cost_vs_unprotected;
          ])
        rows)
+
+let render ~(mode : Experiment.mode) rows =
+  Report.to_text (to_table ~mode rows)

@@ -69,27 +69,30 @@ let pct_catastrophic ?jobs (l : loaded) ~mode ~policy ~errors ~trials ~seed =
     (Core.Campaign.run ?jobs p ~errors ~trials ~seed)
 
 (* Fidelity summary of a sweep point: mean fidelity over completed
-   trials plus the catastrophic percentage. *)
+   trials plus the catastrophic percentage. The campaign scores each
+   trial at the source (on the worker domain), so the sweep point only
+   ever holds floats — no simulator results survive the campaign. *)
 type sweep_point = {
   errors : int;
   n : int;
   pct_failed : float;
-  mean_fidelity : float;  (* nan when no trial completed *)
+  mean_fidelity : float option;  (* None when no trial completed *)
   fidelities : float list;
+  stats : Core.Stats.t;
 }
 
 let sweep_point ?jobs (l : loaded) ~mode ~policy ~errors ~trials ~seed :
     sweep_point =
   let p = l.prepared mode policy in
-  let s = Core.Campaign.run ?jobs p ~errors ~trials ~seed in
   let score r = l.built.Apps.App.score ~golden:l.golden r in
-  let fidelities = Core.Campaign.fidelities s ~score in
+  let s = Core.Campaign.run ?jobs ~score p ~errors ~trials ~seed in
   {
     errors;
-    n = s.Core.Campaign.n;
+    n = Core.Campaign.n s;
     pct_failed = Core.Campaign.pct_catastrophic s;
-    mean_fidelity = Core.Campaign.mean fidelities;
-    fidelities;
+    mean_fidelity = Core.Campaign.mean_fidelity s;
+    fidelities = Core.Campaign.fidelities s;
+    stats = s.Core.Campaign.stats;
   }
 
 let sweep ?jobs (l : loaded) ~mode ~policy ~errors_list ~trials ~seed =

@@ -112,31 +112,43 @@ let all ?trials ?seed ?jobs loaded =
     fig6 ?trials ?seed ?jobs loaded;
   ]
 
-let render (r : result) : string =
+let to_table (r : result) : Report.table =
   let errors_axis =
     match r.series with
     | [] -> []
     | s :: _ -> List.map (fun p -> p.Experiment.errors) s.points
   in
-  let headers =
-    "errors"
+  let columns =
+    Report.column ~key:"errors" "errors"
     :: List.concat_map
          (fun s ->
-           [ s.label ^ ": fidelity"; s.label ^ ": % failed" ])
+           [
+             Report.column (s.label ^ ": fidelity");
+             Report.column (s.label ^ ": % failed");
+           ])
          r.series
   in
-  let fmt_fid x = if Float.is_nan x then "n/a (all failed)" else Printf.sprintf "%.1f" x in
+  let fid = function
+    | None -> Report.Missing "n/a (all failed)"
+    | Some x -> Report.num ~text:(Printf.sprintf "%.1f" x) x
+  in
+  let series_points = List.map (fun s -> Array.of_list s.points) r.series in
   let rows =
     List.mapi
       (fun i errors ->
-        string_of_int errors
+        Report.int errors
         :: List.concat_map
-             (fun s ->
-               let p = List.nth s.points i in
-               [ fmt_fid p.Experiment.mean_fidelity;
-                 Tablefmt.pct p.Experiment.pct_failed ])
-             r.series)
+             (fun points ->
+               let p = points.(i) in
+               [
+                 fid p.Experiment.mean_fidelity;
+                 Report.pct p.Experiment.pct_failed;
+               ])
+             series_points)
       errors_axis
   in
-  Tablefmt.render ~title:(r.title ^ "  [" ^ r.fidelity_name ^ "]") ~headers
-    rows
+  Report.table ~id:r.id
+    ~title:(r.title ^ "  [" ^ r.fidelity_name ^ "]")
+    ~columns rows
+
+let render (r : result) : string = Report.to_text (to_table r)

@@ -69,27 +69,34 @@ let run ?(trials = 25) ?(seed = 11) ?jobs (loaded : Experiment.loaded list) :
           })
     cells
 
-let render rows =
-  Tablefmt.render
+let to_table rows : Report.table =
+  Report.table ~id:"table2"
     ~title:
       "Table 2: % catastrophic failures (crash or infinite run), with vs \
        without control protection"
-    ~headers:
+    ~columns:
       [
-        "app"; "errors"; "instrs"; "with ctrl+addr (ours)";
-        "with literal (ours)"; "without (ours)"; "with (paper)";
-        "without (paper)";
+        Report.column ~key:"app" "app";
+        Report.column ~key:"errors" "errors";
+        Report.column ~key:"instructions" "instrs";
+        Report.column ~key:"pct_with" "with ctrl+addr (ours)";
+        Report.column ~key:"pct_with_literal" "with literal (ours)";
+        Report.column ~key:"pct_without" "without (ours)";
+        Report.column ~key:"paper_with" "with (paper)";
+        Report.column ~key:"paper_without" "without (paper)";
       ]
     (List.map
        (fun r ->
          [
-           r.app_name;
-           string_of_int r.errors;
-           string_of_int r.total_instructions;
-           Tablefmt.pct r.pct_with;
-           Tablefmt.pct r.pct_with_literal;
-           Tablefmt.pct r.pct_without;
-           Tablefmt.pct r.paper_with;
-           Tablefmt.pct r.paper_without;
+           Report.text r.app_name;
+           Report.int r.errors;
+           Report.int r.total_instructions;
+           Report.pct r.pct_with;
+           Report.pct r.pct_with_literal;
+           Report.pct r.pct_without;
+           Report.pct r.paper_with;
+           Report.pct r.paper_without;
          ])
        rows)
+
+let render rows = Report.to_text (to_table rows)

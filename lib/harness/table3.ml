@@ -45,23 +45,28 @@ let run ?jobs (loaded : Experiment.loaded list) : row list =
       })
     loaded
 
-let render rows =
-  Tablefmt.render
+let to_table rows : Report.table =
+  Report.table ~id:"table3"
     ~title:
       "Table 3: dynamic instructions and % tagged low-reliability (may run \
        unprotected)"
-    ~headers:
+    ~columns:
       [
-        "app"; "instrs"; "% low (literal rules)"; "% low (ctrl+addr)";
-        "% low (paper)";
+        Report.column ~key:"app" "app";
+        Report.column ~key:"instructions" "instrs";
+        Report.column ~key:"pct_low_literal" "% low (literal rules)";
+        Report.column ~key:"pct_low_full" "% low (ctrl+addr)";
+        Report.column ~key:"paper_pct" "% low (paper)";
       ]
     (List.map
        (fun r ->
          [
-           r.app_name;
-           string_of_int r.instructions;
-           Tablefmt.pct r.pct_low_literal;
-           Tablefmt.pct r.pct_low_full;
-           Tablefmt.pct r.paper_pct;
+           Report.text r.app_name;
+           Report.int r.instructions;
+           Report.pct r.pct_low_literal;
+           Report.pct r.pct_low_full;
+           Report.pct r.paper_pct;
          ])
        rows)
+
+let render rows = Report.to_text (to_table rows)

@@ -27,47 +27,53 @@ let run ?(errors = 10) ?(trials = 30) ?(seed = 41) ?jobs
   List.map
     (fun (l : Experiment.loaded) ->
       let p = l.Experiment.prepared mode Core.Policy.Protect_control in
-      let s = Core.Campaign.run ?jobs p ~errors ~trials ~seed in
       let golden = l.Experiment.golden in
-      let self_score =
-        l.Experiment.built.Apps.App.score ~golden golden
-      in
-      let fidelities =
-        Core.Campaign.fidelities s ~score:(fun r ->
-            l.Experiment.built.Apps.App.score ~golden r)
-      in
+      let score r = l.Experiment.built.Apps.App.score ~golden r in
+      let s = Core.Campaign.run ?jobs ~score p ~errors ~trials ~seed in
+      let self_score = l.Experiment.built.Apps.App.score ~golden golden in
+      let fidelities = Core.Campaign.fidelities s in
       let benign =
         List.length
           (List.filter (fun f -> Float.abs (f -. self_score) < epsilon) fidelities)
       in
-      let completed = List.length fidelities in
-      let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 s.Core.Campaign.n) in
+      let completed = Core.Campaign.completed s in
+      let n = Core.Campaign.n s in
+      let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 n) in
       {
         app_name = l.Experiment.app.Apps.App.name;
         errors;
-        n = s.Core.Campaign.n;
+        n;
         pct_benign = pct benign;
         pct_degraded = pct (completed - benign);
         pct_catastrophic = Core.Campaign.pct_catastrophic s;
       })
     loaded
 
-let render ~(mode : Experiment.mode) rows =
+let to_table ~(mode : Experiment.mode) rows : Report.table =
   let errors = match rows with [] -> 0 | r :: _ -> r.errors in
-  Tablefmt.render
+  Report.table ~id:"taxonomy"
     ~title:
       (Printf.sprintf
          "Fault outcome taxonomy at %d errors (protection ON, %s tagging): \
           benign / degraded / catastrophic"
          errors
          (Experiment.mode_name mode))
-    ~headers:[ "app"; "% benign (masked)"; "% degraded"; "% catastrophic" ]
+    ~columns:
+      [
+        Report.column ~key:"app" "app";
+        Report.column ~key:"pct_benign" "% benign (masked)";
+        Report.column ~key:"pct_degraded" "% degraded";
+        Report.column ~key:"pct_catastrophic" "% catastrophic";
+      ]
     (List.map
        (fun r ->
          [
-           r.app_name;
-           Tablefmt.pct r.pct_benign;
-           Tablefmt.pct r.pct_degraded;
-           Tablefmt.pct r.pct_catastrophic;
+           Report.text r.app_name;
+           Report.pct r.pct_benign;
+           Report.pct r.pct_degraded;
+           Report.pct r.pct_catastrophic;
          ])
        rows)
+
+let render ~(mode : Experiment.mode) rows =
+  Report.to_text (to_table ~mode rows)

@@ -1,0 +1,283 @@
+(* Unified typed report layer.
+
+   Every experiment produces a [table] of typed [cell]s instead of
+   pre-formatted strings; one value then renders both ways:
+
+   - [to_text] — the plain-text table the harness has always printed
+     (byte-identical to the old [Tablefmt.render] output);
+   - [to_json] — a machine-readable document under the versioned
+     schema [etap-report/1], mirroring the [etap-bench/1] convention
+     of the bench harness.
+
+   Cells keep the numeric value and the display text separately, so
+   the JSON side always emits real numbers (or [null] — never a bare
+   [nan]/[inf] token) while the text side reproduces the exact
+   historical formatting. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON values and printer, shared by the [etap-report/1] and
+   [etap-bench/1] emitters. No external dependency.                    *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (* non-finite values print as null *)
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Shortest decimal form that still reads back as the same double for
+     the magnitudes reports contain; integral floats print without an
+     exponent so the document stays human-scannable. *)
+  let float_repr x =
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.1f" x
+    else Printf.sprintf "%.12g" x
+
+  let rec write buf ~indent t =
+    let pad n = String.make n ' ' in
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float x ->
+      Buffer.add_string buf
+        (if Float.is_finite x then float_repr x else "null")
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 2));
+          write buf ~indent:(indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 2));
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          write buf ~indent:(indent + 2) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    write buf ~indent:0 t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let of_int_opt = function None -> Null | Some i -> Int i
+
+  let to_file path t =
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_string t))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cells, columns, tables.                                             *)
+
+type cell =
+  | Text of string          (* JSON string *)
+  | Int of int              (* JSON integer *)
+  | Num of float * string   (* JSON number, custom display text *)
+  | Missing of string       (* JSON null, display placeholder *)
+
+let text s = Text s
+let int n = Int n
+let num ~text v = Num (v, text)
+
+(* Frozen display formats (formerly Tablefmt.{pct,db,count}). *)
+let pct x = Num (x, Printf.sprintf "%.1f%%" x)
+let db x = Num (x, Printf.sprintf "%.1f dB" x)
+let count n = Int n
+
+let opt ~missing some = function Some v -> some v | None -> Missing missing
+
+let cell_text = function
+  | Text s -> s
+  | Int n -> string_of_int n
+  | Num (_, s) -> s
+  | Missing s -> s
+
+let cell_json = function
+  | Text s -> Json.Str s
+  | Int n -> Json.Int n
+  | Num (v, _) -> Json.Float v  (* nan/inf -> null at print time *)
+  | Missing _ -> Json.Null
+
+type column = {
+  key : string;    (* JSON field name *)
+  label : string;  (* text-rendering header *)
+}
+
+let column ?key label =
+  let key =
+    match key with
+    | Some k -> k
+    | None ->
+      (* slug of the label: lowercase alphanumerics joined by '_' *)
+      let b = Buffer.create (String.length label) in
+      let pending = ref false in
+      String.iter
+        (fun c ->
+          match Char.lowercase_ascii c with
+          | ('a' .. 'z' | '0' .. '9') as c ->
+            if !pending && Buffer.length b > 0 then Buffer.add_char b '_';
+            pending := false;
+            Buffer.add_char b c
+          | _ -> pending := true)
+        label;
+      Buffer.contents b
+  in
+  { key; label }
+
+type table = {
+  id : string;
+  title : string;
+  columns : column list;
+  rows : cell list list;
+}
+
+let table ~id ~title ~columns rows = { id; title; columns; rows }
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering — byte-identical to the historical Tablefmt output.
+   Array-based: column widths and row formatting are O(rows x cols)
+   instead of the old List.nth-based O(rows x cols^2).                 *)
+
+let to_text (t : table) : string =
+  let headers = Array.of_list (List.map (fun c -> c.label) t.columns) in
+  let ncols = Array.length headers in
+  let rows =
+    List.map
+      (fun row ->
+        let a = Array.make ncols "" in
+        List.iteri (fun i c -> if i < ncols then a.(i) <- cell_text c) row;
+        a)
+      t.rows
+  in
+  let widths = Array.map String.length headers in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row)
+    rows;
+  let buf = Buffer.create 256 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths
+  in
+  let fmt_row row =
+    Buffer.add_char buf '|';
+    Array.iteri
+      (fun i cell ->
+        Buffer.add_string buf (Printf.sprintf " %-*s " widths.(i) cell);
+        Buffer.add_char buf '|')
+      row
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  line '-';
+  Buffer.add_char buf '\n';
+  fmt_row headers;
+  Buffer.add_char buf '\n';
+  line '=';
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      fmt_row r;
+      Buffer.add_char buf '\n')
+    rows;
+  line '-';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reports and the etap-report/1 JSON document.                        *)
+
+type t = {
+  command : string;             (* producing subcommand, e.g. "table2" *)
+  meta : (string * Json.t) list;  (* invocation parameters *)
+  tables : table list;
+}
+
+let schema_version = "etap-report/1"
+
+let make ~command ?(meta = []) tables = { command; meta; tables }
+
+let table_json (t : table) =
+  Json.Obj
+    [
+      ("id", Json.Str t.id);
+      ("title", Json.Str t.title);
+      ( "columns",
+        Json.Arr
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [ ("key", Json.Str c.key); ("label", Json.Str c.label) ])
+             t.columns) );
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun row ->
+               (* Short rows pad with null, mirroring the text
+                  renderer's empty cells; extra cells are dropped. *)
+               let rec zip cols cells =
+                 match (cols, cells) with
+                 | [], _ -> []
+                 | c :: cols, [] -> (c.key, Json.Null) :: zip cols []
+                 | c :: cols, cell :: cells ->
+                   (c.key, cell_json cell) :: zip cols cells
+               in
+               Json.Obj (zip t.columns row))
+             t.rows) );
+    ]
+
+let to_json (r : t) =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("command", Json.Str r.command);
+      ("meta", Json.Obj r.meta);
+      ("tables", Json.Arr (List.map table_json r.tables));
+    ]
+
+let write_json ~path (r : t) = Json.to_file path (to_json r)

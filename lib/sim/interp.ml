@@ -51,6 +51,9 @@ type result = {
   faults_landed : int;      (* plan entries actually applied *)
   memory : Memory.t;
   exec_counts : int array array;  (* fid -> body index -> executions *)
+  trap_site : (string * int) option;
+      (* (function name, body index) of the trapping instruction when
+         [outcome] is [Trapped]; [None] otherwise *)
 }
 
 exception Timeout_exn
@@ -116,6 +119,19 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
   let dyn = ref 0 in
   let inj_seen = ref 0 in
   let landed = ref 0 in
+  (* Trap provenance: (fid, pc) of the instruction whose evaluation
+     raised. Written once, by the innermost handler (the call arm sees
+     traps propagating out of callees and must not overwrite the
+     callee's record). Cold path: only touched when a trap fires. *)
+  let trap_fid = ref (-1) in
+  let trap_pc = ref (-1) in
+  let trap_at fid pc e =
+    if !trap_fid < 0 then begin
+      trap_fid := fid;
+      trap_pc := pc
+    end;
+    raise e
+  in
   (* Per-function execution counters are only materialized when
      requested: campaigns run hundreds of trials per prepared target
      and none of them profiles. *)
@@ -213,10 +229,16 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
         fregs.(d) <- inject_f pc fregs.(s);
         loop (pc + 1)
       | Code.DBin (op, d, a, b) ->
-        iregs.(d) <- inject_i pc (binop_i op iregs.(a) iregs.(b));
+        iregs.(d) <-
+          inject_i pc
+            (try binop_i op iregs.(a) iregs.(b)
+             with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DBini (op, d, a, n) ->
-        iregs.(d) <- inject_i pc (binop_i op iregs.(a) n);
+        iregs.(d) <-
+          inject_i pc
+            (try binop_i op iregs.(a) n
+             with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DCmp (op, d, a, b) ->
         iregs.(d) <- inject_i pc (if cmp_i op iregs.(a) iregs.(b) then 1 else 0);
@@ -234,25 +256,39 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
         fregs.(d) <- inject_f pc (float_of_int iregs.(s));
         loop (pc + 1)
       | Code.DF2i (d, s) ->
-        iregs.(d) <- inject_i pc (f2i fregs.(s));
+        iregs.(d) <-
+          inject_i pc
+            (try f2i fregs.(s) with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DLw (d, b, o) ->
-        iregs.(d) <- inject_i pc (Memory.load_int memory (iregs.(b) + o));
+        iregs.(d) <-
+          inject_i pc
+            (try Memory.load_int memory (iregs.(b) + o)
+             with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DSw (v, b, o) ->
-        Memory.store_int memory (iregs.(b) + o) iregs.(v);
+        (try Memory.store_int memory (iregs.(b) + o) iregs.(v)
+         with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DLb (d, b, o) ->
-        iregs.(d) <- inject_i pc (Memory.load_byte memory (iregs.(b) + o));
+        iregs.(d) <-
+          inject_i pc
+            (try Memory.load_byte memory (iregs.(b) + o)
+             with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DSb (v, b, o) ->
-        Memory.store_byte memory (iregs.(b) + o) iregs.(v);
+        (try Memory.store_byte memory (iregs.(b) + o) iregs.(v)
+         with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DLwf (d, b, o) ->
-        fregs.(d) <- inject_f pc (Memory.load_flt memory (iregs.(b) + o));
+        fregs.(d) <-
+          inject_f pc
+            (try Memory.load_flt memory (iregs.(b) + o)
+             with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DSwf (v, b, o) ->
-        Memory.store_flt memory (iregs.(b) + o) fregs.(v);
+        (try Memory.store_flt memory (iregs.(b) + o) fregs.(v)
+         with Trap.Error _ as e -> trap_at fid pc e);
         loop (pc + 1)
       | Code.DBr (op, a, b, target) ->
         if cmp_i op iregs.(a) iregs.(b) then loop target else loop (pc + 1)
@@ -264,7 +300,14 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
           Array.iter (fun (src, dst) -> callee_i.(dst) <- iregs.(src)) c.Code.iargs;
           Array.iter (fun (src, dst) -> callee_f.(dst) <- fregs.(src)) c.Code.fargs
         in
-        let ret = call (depth + 1) c.Code.fid set in
+        (* Traps inside the callee are located by the callee's own
+           arms; [trap_at]'s write-once rule leaves those intact and
+           attributes only callee-entry traps (stack overflow) to this
+           call site. *)
+        let ret =
+          try call (depth + 1) c.Code.fid set
+          with Trap.Error _ as e -> trap_at fid pc e
+        in
         (if c.Code.dst >= 0 then
            match ret with
            | Some (Value.I v) when not c.Code.dst_flt ->
@@ -284,6 +327,12 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     | Trap.Error t -> Trapped t
     | Timeout_exn -> Timeout
   in
+  let trap_site =
+    match outcome with
+    | Trapped _ when !trap_fid >= 0 ->
+      Some (code.Code.funcs.(!trap_fid).Code.name, !trap_pc)
+    | _ -> None
+  in
   {
     outcome;
     dyn_count = !dyn;
@@ -291,6 +340,7 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     faults_landed = !landed;
     memory;
     exec_counts;
+    trap_site;
   }
 
 (* Fault-free execution, trusting the program: raises on trap/timeout. *)

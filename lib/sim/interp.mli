@@ -39,6 +39,11 @@ type result = {
   exec_counts : int array array;
       (** per-function, per-body-index execution counts; populated only
           when [count_exec] was set (empty array otherwise) *)
+  trap_site : (string * int) option;
+      (** provenance of a [Trapped] outcome: name of the function and
+          body index of the instruction whose evaluation trapped.
+          Stack-overflow traps are attributed to the overflowing call
+          site. [None] for [Done] and [Timeout]. *)
 }
 
 exception Timeout_exn

@@ -246,7 +246,8 @@ let test_campaign_classification () =
   let p = Core.Campaign.prepare target Core.Policy.Protect_control in
   let s = Core.Campaign.run p ~errors:1 ~trials:10 ~seed:3 in
   Alcotest.(check int) "all trials accounted" 10
-    (s.Core.Campaign.crashes + s.Core.Campaign.infinite + s.Core.Campaign.completed)
+    (Core.Campaign.crashes s + Core.Campaign.infinite s
+    + Core.Campaign.completed s)
 
 (* Soundness: with control+address protection and no memory round trip
    into control, a single injected fault can never change the execution
@@ -262,8 +263,8 @@ let test_protection_soundness () =
     let rng = Random.State.make [| 99; trial |] in
     let t = Core.Campaign.run_trial p ~errors:1 ~rng ~index:trial in
     match t.Core.Campaign.outcome with
-    | Core.Outcome.Completed r ->
-      Alcotest.(check int) "path unchanged" baseline r.Sim.Interp.dyn_count
+    | Core.Outcome.Completed ->
+      Alcotest.(check int) "path unchanged" baseline t.Core.Campaign.dyn_count
     | o -> Alcotest.failf "catastrophic under protection: %s" (Core.Outcome.to_string o)
   done
 
@@ -277,8 +278,8 @@ let test_unprotected_can_diverge () =
     let rng = Random.State.make [| 7; trial |] in
     let t = Core.Campaign.run_trial p ~errors:2 ~rng ~index:trial in
     match t.Core.Campaign.outcome with
-    | Core.Outcome.Completed r ->
-      if r.Sim.Interp.dyn_count <> baseline then diverged := true
+    | Core.Outcome.Completed ->
+      if t.Core.Campaign.dyn_count <> baseline then diverged := true
     | _ -> diverged := true
   done;
   Alcotest.(check bool) "unprotected faults change paths" true !diverged
@@ -347,8 +348,8 @@ let tagging_soundness_prop =
              let rng = Random.State.make [| seed; trial |] in
              let t = Core.Campaign.run_trial p ~errors:1 ~rng ~index:trial in
              match t.Core.Campaign.outcome with
-             | Core.Outcome.Completed r ->
-               r.Sim.Interp.dyn_count = baseline
+             | Core.Outcome.Completed ->
+               t.Core.Campaign.dyn_count = baseline
              | _ -> false)
            (List.init 5 Fun.id))
 
@@ -359,7 +360,7 @@ let tagging_soundness_prop =
 let trial_fingerprint (t : Core.Campaign.trial) =
   let dyn =
     match t.Core.Campaign.outcome with
-    | Core.Outcome.Completed r -> r.Sim.Interp.dyn_count
+    | Core.Outcome.Completed -> t.Core.Campaign.dyn_count
     | Core.Outcome.Crash _ | Core.Outcome.Infinite -> -1
   in
   Printf.sprintf "%d/%s/%d/%d/%d" t.Core.Campaign.index
@@ -373,10 +374,10 @@ let test_campaign_jobs_bit_exact () =
   let fingerprints jobs =
     let s = Core.Campaign.run ~jobs p ~errors:2 ~trials:13 ~seed:5 in
     ( List.map trial_fingerprint s.Core.Campaign.trials,
-      ( s.Core.Campaign.n,
-        s.Core.Campaign.crashes,
-        s.Core.Campaign.infinite,
-        s.Core.Campaign.completed ) )
+      ( Core.Campaign.n s,
+        Core.Campaign.crashes s,
+        Core.Campaign.infinite s,
+        Core.Campaign.completed s ) )
   in
   let ref_trials, ref_counts = fingerprints 1 in
   List.iter
@@ -419,7 +420,8 @@ let test_prepare_memoizes_profiling () =
 
 let test_outcome_classification () =
   Alcotest.(check bool) "crash catastrophic" true
-    (Core.Outcome.is_catastrophic (Core.Outcome.Crash Sim.Trap.Division_by_zero));
+    (Core.Outcome.is_catastrophic
+       (Core.Outcome.Crash (Sim.Trap.Division_by_zero, None)));
   Alcotest.(check bool) "infinite catastrophic" true
     (Core.Outcome.is_catastrophic Core.Outcome.Infinite)
 

@@ -1,11 +1,17 @@
-(* Tests for the experiment harness: table formatting, experiment
-   loading, sweeps and the tables' shapes on small trial counts. *)
+(* Tests for the experiment harness: table rendering via the report
+   layer, experiment loading, sweeps and the tables' shapes on small
+   trial counts. *)
 
-let test_tablefmt () =
-  let s =
-    Harness.Tablefmt.render ~title:"T" ~headers:[ "a"; "bb" ]
-      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+let test_table_text () =
+  let t =
+    Report.table ~id:"t" ~title:"T"
+      ~columns:[ Report.column "a"; Report.column "bb" ]
+      [
+        [ Report.int 1; Report.int 2 ];
+        [ Report.text "333"; Report.pct 12.34 ];
+      ]
   in
+  let s = Report.to_text t in
   Alcotest.(check bool) "title" true (String.length s > 0);
   (* every row line has the same width *)
   let lines = String.split_on_char '\n' s in
@@ -17,7 +23,11 @@ let test_tablefmt () =
   (match widths with
    | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
    | [] -> Alcotest.fail "no rows");
-  Alcotest.(check string) "pct" "12.3%" (Harness.Tablefmt.pct 12.34)
+  Alcotest.(check bool) "pct formats as in the tables" true
+    (let rec has_sub i =
+       i + 5 <= String.length s && (String.sub s i 5 = "12.3%" || has_sub (i + 1))
+     in
+     has_sub 0)
 
 let loaded =
   lazy (Harness.Experiment.load ~seed:1 (Option.get (Apps.Registry.find "mcf")))
@@ -41,8 +51,8 @@ let test_sweep_zero_errors_is_clean () =
   in
   Alcotest.(check (float 0.0)) "no failures at 0 errors" 0.0
     p.Harness.Experiment.pct_failed;
-  Alcotest.(check (float 0.0)) "perfect fidelity at 0 errors" 100.0
-    p.Harness.Experiment.mean_fidelity
+  Alcotest.(check (option (float 0.0))) "perfect fidelity at 0 errors"
+    (Some 100.0) p.Harness.Experiment.mean_fidelity
 
 let test_table3_shape () =
   (* table 3 needs only baselines; run it on two apps *)
@@ -71,8 +81,9 @@ let test_figure_render () =
       Harness.Experiment.errors;
       n = 2;
       pct_failed = 0.0;
-      mean_fidelity = 50.0;
+      mean_fidelity = Some 50.0;
       fidelities = [ 50.0; 50.0 ];
+      stats = Core.Stats.empty;
     }
   in
   let r =
@@ -144,7 +155,7 @@ let test_taxonomy_sums_to_100 () =
 let () =
   Alcotest.run "harness"
     [
-      ("tablefmt", [ Alcotest.test_case "render" `Quick test_tablefmt ]);
+      ("table text", [ Alcotest.test_case "render" `Quick test_table_text ]);
       ( "experiment",
         [
           Alcotest.test_case "load and memoize" `Quick test_experiment_load;

@@ -248,7 +248,7 @@ let test_fault_campaign_on_parsed_source () =
     (p.Core.Campaign.injectable_total > 0);
   let s = Core.Campaign.run p ~errors:2 ~trials:20 ~seed:5 in
   Alcotest.(check int) "all complete under protection" 20
-    s.Core.Campaign.completed
+    (Core.Campaign.completed s)
 
 let () =
   Alcotest.run "parser"

@@ -1,0 +1,91 @@
+(* Report layer: JSON document hygiene (valid tokens only — a nan or
+   inf value must surface as null), column key slugs, row padding, and
+   the text renderer's alignment on ragged input. *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_json_scalars () =
+  let open Report.Json in
+  Alcotest.(check string) "float" "1.5\n" (to_string (Float 1.5));
+  Alcotest.(check string) "integral float" "3.0\n" (to_string (Float 3.0));
+  Alcotest.(check string) "nan -> null" "null\n" (to_string (Float Float.nan));
+  Alcotest.(check string) "inf -> null" "null\n"
+    (to_string (Float Float.infinity));
+  Alcotest.(check string) "neg inf -> null" "null\n"
+    (to_string (Float Float.neg_infinity));
+  Alcotest.(check string) "escaping" "\"a\\\"b\\n\"\n"
+    (to_string (Str "a\"b\n"))
+
+let test_no_bare_nan_inf () =
+  let t =
+    Report.table ~id:"x" ~title:"X"
+      ~columns:[ Report.column "a"; Report.column "b" ]
+      [
+        [
+          Report.num ~text:"nan%" Float.nan;
+          Report.num ~text:"inf dB" Float.infinity;
+        ];
+        [ Report.pct 50.0 ] (* short row: second cell pads to null *);
+      ]
+  in
+  let s =
+    Report.Json.to_string (Report.to_json (Report.make ~command:"test" [ t ]))
+  in
+  Alcotest.(check bool) "schema stamped" true (contains s "etap-report/1");
+  Alcotest.(check bool) "null present" true (contains s "null");
+  (* strip the quoted display strings, then no nan/inf token may remain *)
+  let bare =
+    String.concat ""
+      (List.filteri (fun i _ -> i mod 2 = 0) (String.split_on_char '"' s))
+  in
+  Alcotest.(check bool) "no bare nan" false (contains bare "nan");
+  Alcotest.(check bool) "no bare inf" false (contains bare "inf")
+
+let test_column_slug () =
+  Alcotest.(check string) "slug" "analysis_on_failed"
+    (Report.column "analysis ON: % failed").Report.key;
+  Alcotest.(check string) "explicit key wins" "k"
+    (Report.column ~key:"k" "Label").Report.key
+
+let test_text_alignment_ragged () =
+  let t =
+    Report.table ~id:"r" ~title:"R"
+      ~columns:[ Report.column "one"; Report.column "two" ]
+      [ [ Report.text "xxxxxxxx" ]; [ Report.int 1; Report.int 2 ] ]
+  in
+  let lines = String.split_on_char '\n' (Report.to_text t) in
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 then Some (String.length l) else None)
+      (List.tl lines)
+  in
+  match widths with
+  | w :: rest ->
+    List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no lines"
+
+let test_opt_cell () =
+  Alcotest.(check string) "some" "12.3%"
+    (Report.cell_text (Report.opt ~missing:"n/a" Report.pct (Some 12.34)));
+  Alcotest.(check string) "none" "n/a"
+    (Report.cell_text (Report.opt ~missing:"n/a" Report.pct None))
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "no bare nan/inf" `Quick test_no_bare_nan_inf;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "column slugs" `Quick test_column_slug;
+          Alcotest.test_case "ragged alignment" `Quick
+            test_text_alignment_ragged;
+          Alcotest.test_case "opt cells" `Quick test_opt_cell;
+        ] );
+    ]

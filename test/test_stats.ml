@@ -1,0 +1,122 @@
+(* Property tests for the streaming statistics accumulator: Welford's
+   recurrences must agree with the naive two-pass formulas, and merging
+   partial accumulators (the parallel campaign path) must agree with a
+   single pass over the concatenated observations. *)
+
+let close a b =
+  Float.abs (a -. b)
+  <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let acc_of xs = List.fold_left Core.Stats.acc_add Core.Stats.acc_empty xs
+
+let naive_mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let naive_variance xs =
+  let m = naive_mean xs in
+  List.fold_left (fun a x -> a +. (((x -. m) ** 2.0) /. float_of_int (List.length xs))) 0.0 xs
+
+let nonempty_floats =
+  QCheck.(list_of_size Gen.(int_range 1 200) (float_range (-1e6) 1e6))
+
+let floats = QCheck.(list_of_size Gen.(int_range 0 200) (float_range (-1e6) 1e6))
+
+let opt_close a b =
+  match (a, b) with
+  | Some a, Some b -> close a b
+  | None, None -> true
+  | _ -> false
+
+let welford_matches_two_pass =
+  QCheck.Test.make ~name:"welford mean/variance = naive two-pass" ~count:300
+    nonempty_floats (fun xs ->
+      let a = acc_of xs in
+      opt_close (Core.Stats.acc_mean a) (Some (naive_mean xs))
+      && opt_close (Core.Stats.acc_variance a) (Some (naive_variance xs)))
+
+let merge_matches_single_pass =
+  QCheck.Test.make ~name:"acc_merge = one pass over the concatenation"
+    ~count:300
+    QCheck.(pair floats floats)
+    (fun (xs, ys) ->
+      let merged = Core.Stats.acc_merge (acc_of xs) (acc_of ys) in
+      let whole = acc_of (xs @ ys) in
+      Core.Stats.acc_count merged = Core.Stats.acc_count whole
+      && opt_close (Core.Stats.acc_mean merged) (Core.Stats.acc_mean whole)
+      && opt_close (Core.Stats.acc_variance merged)
+           (Core.Stats.acc_variance whole)
+      && Core.Stats.acc_min merged = Core.Stats.acc_min whole
+      && Core.Stats.acc_max merged = Core.Stats.acc_max whole)
+
+(* The empty accumulator: every derived statistic is None, never nan. *)
+let test_empty_acc () =
+  let open Core.Stats in
+  Alcotest.(check int) "count" 0 (acc_count acc_empty);
+  Alcotest.(check (option (float 0.0))) "mean" None (acc_mean acc_empty);
+  Alcotest.(check (option (float 0.0))) "variance" None (acc_variance acc_empty);
+  Alcotest.(check (option (float 0.0))) "stddev" None (acc_stddev acc_empty);
+  Alcotest.(check (option (float 0.0))) "min" None (acc_min acc_empty);
+  Alcotest.(check (option (float 0.0))) "max" None (acc_max acc_empty)
+
+let test_empty_summary () =
+  let open Core.Stats in
+  Alcotest.(check (float 0.0)) "pct on empty" 0.0 (pct_catastrophic empty);
+  Alcotest.(check (option (float 0.0))) "fidelity on empty" None
+    (mean_fidelity empty)
+
+let test_single_observation () =
+  let a = Core.Stats.acc_add Core.Stats.acc_empty 42.0 in
+  Alcotest.(check (option (float 1e-12))) "mean" (Some 42.0)
+    (Core.Stats.acc_mean a);
+  Alcotest.(check (option (float 1e-12))) "variance" (Some 0.0)
+    (Core.Stats.acc_variance a);
+  Alcotest.(check (option (float 1e-12))) "min" (Some 42.0)
+    (Core.Stats.acc_min a);
+  Alcotest.(check (option (float 1e-12))) "max" (Some 42.0)
+    (Core.Stats.acc_max a)
+
+(* Outcome bookkeeping: observing three classified trials one at a time
+   and merging partial summaries give the same breakdown. *)
+let test_observe_and_merge () =
+  let open Core in
+  let crash =
+    Stats.observe Stats.empty
+      (Outcome.Crash (Sim.Trap.Division_by_zero, None))
+      ~fidelity:None
+  in
+  let completed =
+    Stats.observe Stats.empty Outcome.Completed ~fidelity:(Some 80.0)
+  in
+  let infinite = Stats.observe Stats.empty Outcome.Infinite ~fidelity:None in
+  let s = Stats.merge crash (Stats.merge completed infinite) in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  Alcotest.(check int) "crashes" 1 s.Stats.crashes;
+  Alcotest.(check int) "infinite" 1 s.Stats.infinite;
+  Alcotest.(check int) "completed" 1 s.Stats.completed;
+  Alcotest.(check int) "catastrophic" 2 (Stats.catastrophic s);
+  Alcotest.(check (option (float 1e-12))) "fidelity" (Some 80.0)
+    (Stats.mean_fidelity s);
+  (* an unscored completed trial counts for the breakdown but not for
+     the fidelity accumulator *)
+  let s' = Stats.observe s Outcome.Completed ~fidelity:None in
+  Alcotest.(check int) "completed'" 2 s'.Stats.completed;
+  Alcotest.(check (option (float 1e-12))) "fidelity unchanged" (Some 80.0)
+    (Stats.mean_fidelity s')
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "accumulator",
+        [
+          QCheck_alcotest.to_alcotest welford_matches_two_pass;
+          QCheck_alcotest.to_alcotest merge_matches_single_pass;
+          Alcotest.test_case "empty accumulator" `Quick test_empty_acc;
+          Alcotest.test_case "single observation" `Quick
+            test_single_observation;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "empty summary" `Quick test_empty_summary;
+          Alcotest.test_case "observe and merge" `Quick
+            test_observe_and_merge;
+        ] );
+    ]
