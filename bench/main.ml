@@ -38,7 +38,14 @@ let timed name f =
 let run_table2 ~trials ?jobs loaded =
   section "Table 2 — catastrophic failures with/without control protection";
   let rows = timed "table2" (fun () -> Harness.Table2.run ~trials ?jobs loaded) in
-  say "%s" (Harness.Table2.render rows)
+  say "%s" (Harness.Table2.render rows);
+  section "Fault-flow taxonomy (dynamic taint audit)";
+  let mode = Harness.Experiment.Full in
+  let audit =
+    timed "fault_flow" (fun () ->
+        Harness.Taxonomy.audit ~trials ?jobs ~mode loaded)
+  in
+  say "%s" (Harness.Taxonomy.render_audit ~mode audit)
 
 let run_table3 ?jobs loaded =
   section "Table 3 — % of dynamic instructions tagged low-reliability";

@@ -6,6 +6,7 @@
      tag APP                   tagging analysis summary (both modes)
      disasm APP [FUNC]         print the compiled IR
      inject APP -e N [-t T]    fault-injection campaign
+     audit [APP]               dynamic taint audit of the tagging analysis
      table2 | table3           reproduce the paper's tables
      figure N                  reproduce one figure
      ablation                  run the ablation studies *)
@@ -200,6 +201,12 @@ let inject_cmd =
                  | None -> "n/a"
                  | Some m ->
                    Printf.sprintf "%.1f %s" m b.Apps.App.fidelity_units);
+              if Core.Campaign.errors_capped s then
+                say
+                  "  note: injectable pool (%d) smaller than request — \
+                   each plan holds %d fault(s), not %d"
+                  p.Core.Campaign.injectable_total
+                  s.Core.Campaign.errors_planned errors;
               (policy, s))
             [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ]
         in
@@ -215,6 +222,7 @@ let inject_cmd =
                 [
                   Report.column ~key:"policy" "policy";
                   Report.column ~key:"trials" "trials";
+                  Report.column ~key:"errors_planned" "errors planned";
                   Report.column ~key:"pct_catastrophic" "% catastrophic";
                   Report.column ~key:"crashes" "crashes";
                   Report.column ~key:"infinite" "infinite";
@@ -226,6 +234,7 @@ let inject_cmd =
                    [
                      Report.text (Core.Policy.to_string policy);
                      Report.int (Core.Campaign.n s);
+                     Report.int s.Core.Campaign.errors_planned;
                      Report.pct (Core.Campaign.pct_catastrophic s);
                      Report.int (Core.Campaign.crashes s);
                      Report.int (Core.Campaign.infinite s);
@@ -342,6 +351,71 @@ let compile_cmd =
         (const action $ file_arg $ inject_arg $ show_arg $ trials_arg
        $ jobs_arg))
 
+let audit_cmd =
+  let app_opt_arg =
+    let doc =
+      "Audit only this application (default: all registered apps)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let action app seed errors trials literal jobs json =
+    let mode =
+      if literal then Harness.Experiment.Literal else Harness.Experiment.Full
+    in
+    let loaded_res =
+      match app with
+      | None -> Ok (Harness.Experiment.load_all ~seed ?jobs ())
+      | Some name ->
+        Result.map
+          (fun a -> [ Harness.Experiment.load ~seed a ])
+          (find_app name)
+    in
+    Result.bind loaded_res (fun loaded ->
+        let rows =
+          Harness.Taxonomy.audit ~errors ~trials ~seed:(seed + 100) ?jobs
+            ~mode loaded
+        in
+        say "%s" (Harness.Taxonomy.render_audit ~mode rows);
+        (match json with
+         | None -> ()
+         | Some path ->
+           Report.write_json ~path
+             (Report.make ~command:"audit"
+                ~meta:
+                  [
+                    ( "app",
+                      match app with
+                      | None -> Report.Json.Null
+                      | Some a -> Report.Json.Str a );
+                    meta_int "errors" errors;
+                    meta_int "trials" trials;
+                    meta_int "seed" seed;
+                    ("literal", Report.Json.Bool literal);
+                    meta_jobs jobs;
+                  ]
+                [ Harness.Taxonomy.audit_table ~mode rows ]);
+           say "wrote %s" path);
+        match Harness.Taxonomy.audit_violations rows with
+        | [] -> Ok ()
+        | bad ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "tagging soundness violated in %d audit cell(s) — see \
+                  table above"
+                 (List.length bad))))
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Dynamic taint audit: classify where injected faults flow and \
+          verify the tagging soundness invariant (exit non-zero on \
+          violation)")
+    Term.(
+      term_result
+        (const action $ app_opt_arg $ seed_arg $ errors_arg $ trials_arg
+       $ literal_arg $ jobs_arg $ json_arg))
+
 let table2_cmd =
   let action trials jobs json =
     let loaded = Harness.Experiment.load_all ?jobs () in
@@ -415,6 +489,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; tag_cmd; disasm_cmd; asm_cmd; compile_cmd;
-            inject_cmd; table2_cmd;
+            inject_cmd; audit_cmd; table2_cmd;
             table3_cmd; figure_cmd; ablation_cmd;
           ]))

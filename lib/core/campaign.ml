@@ -37,15 +37,21 @@ type trial = {
   index : int;
   outcome : Outcome.t;
   dyn_count : int;
-  faults_requested : int;
+  faults_planned : int;
+      (* the plan's actual size: the request capped at the injectable
+         pool ([Fault_model.planned]), not the raw [errors] argument *)
   faults_landed : int;
   fidelity : float option;
       (* [Some] iff the trial completed and a scorer was supplied *)
+  fault_flow : Sim.Taint.summary option;
+      (* [Some] iff the trial ran with taint on *)
 }
 
 type summary = {
   trials : trial list;
   stats : Stats.t;
+  errors_requested : int;  (* the [errors] argument *)
+  errors_planned : int;    (* per-trial plan size after the pool cap *)
 }
 
 let timeout_factor = 10
@@ -88,16 +94,17 @@ let prepare (t : target) (policy : Policy.t) =
 (* Escape hatch: the raw simulator result of one trial, memory image
    included. Everything else should go through {!run_trial}/{!run},
    which discard the image after scoring. *)
-let run_trial_result (p : prepared) ~errors ~rng : Sim.Interp.result =
+let run_trial_result ?(taint = false) (p : prepared) ~errors ~rng :
+    Sim.Interp.result =
   let plan =
     Fault_model.make_plan ~rng ~injectable_total:p.injectable_total ~errors
   in
   let injection = Fault_model.injection ~tags:p.tags ~plan in
-  Sim.Interp.run ~injection ~lenient:p.target.lenient ~budget:p.budget
+  Sim.Interp.run ~injection ~lenient:p.target.lenient ~budget:p.budget ~taint
     p.target.code
 
-let run_trial ?score (p : prepared) ~errors ~rng ~index : trial =
-  let r = run_trial_result p ~errors ~rng in
+let run_trial ?score ?taint (p : prepared) ~errors ~rng ~index : trial =
+  let r = run_trial_result ?taint p ~errors ~rng in
   let outcome = Outcome.of_result r in
   let fidelity =
     match (outcome, score) with
@@ -108,9 +115,11 @@ let run_trial ?score (p : prepared) ~errors ~rng ~index : trial =
     index;
     outcome;
     dyn_count = r.Sim.Interp.dyn_count;
-    faults_requested = errors;
+    faults_planned =
+      Fault_model.planned ~injectable_total:p.injectable_total ~errors;
     faults_landed = r.Sim.Interp.faults_landed;
     fidelity;
+    fault_flow = r.Sim.Interp.fault_flow;
   }
 
 (* Trial [i]'s RNG depends only on [(seed, i, errors, policy)] — not on
@@ -121,18 +130,33 @@ let run_trial ?score (p : prepared) ~errors ~rng ~index : trial =
 let trial_rng ~seed ~errors ~policy index =
   Random.State.make [| seed; index; errors; Policy.seed_tag policy |]
 
-let run ?jobs ?score (p : prepared) ~errors ~trials ~seed : summary =
+let run ?jobs ?score ?taint (p : prepared) ~errors ~trials ~seed : summary =
   let results =
     Pool.map_n ?jobs trials (fun i ->
         let rng = trial_rng ~seed ~errors ~policy:p.policy i in
-        run_trial ?score p ~errors ~rng ~index:i)
+        run_trial ?score ?taint p ~errors ~rng ~index:i)
   in
   let stats =
     Array.fold_left
-      (fun acc t -> Stats.observe acc t.outcome ~fidelity:t.fidelity)
+      (fun acc t ->
+        let flow =
+          Option.map (fun (s : Sim.Taint.summary) -> s.Sim.Taint.flow)
+            t.fault_flow
+        in
+        Stats.observe ?flow acc t.outcome ~fidelity:t.fidelity)
       Stats.empty results
   in
-  { trials = Array.to_list results; stats }
+  {
+    trials = Array.to_list results;
+    stats;
+    errors_requested = errors;
+    errors_planned =
+      Fault_model.planned ~injectable_total:p.injectable_total ~errors;
+  }
+
+(* True when the pool was too small for the request, so each plan holds
+   fewer faults than asked — surfaced by the CLI next to the summary. *)
+let errors_capped (s : summary) = s.errors_planned < s.errors_requested
 
 let n (s : summary) = s.stats.Stats.n
 let crashes (s : summary) = s.stats.Stats.crashes

@@ -40,15 +40,21 @@ type trial = {
   index : int;
   outcome : Outcome.t;  (** compact classification with crash site *)
   dyn_count : int;  (** dynamic instructions the trial executed *)
-  faults_requested : int;
+  faults_planned : int;
+      (** the plan's actual size — the request capped at the injectable
+          pool ({!Fault_model.planned}), not the raw [errors] argument *)
   faults_landed : int;
   fidelity : float option;
       (** [Some] iff the trial completed and a scorer was supplied *)
+  fault_flow : Sim.Taint.summary option;
+      (** [Some] iff the trial ran with taint on *)
 }
 
 type summary = {
   trials : trial list;
   stats : Stats.t;
+  errors_requested : int;  (** the [errors] argument *)
+  errors_planned : int;  (** per-trial plan size after the pool cap *)
 }
 
 val timeout_factor : int
@@ -65,13 +71,20 @@ val prepare : target -> Policy.t -> prepared
     domain-safe: call from one domain at a time. *)
 
 val run_trial_result :
-  prepared -> errors:int -> rng:Random.State.t -> Sim.Interp.result
+  ?taint:bool ->
+  prepared ->
+  errors:int ->
+  rng:Random.State.t ->
+  Sim.Interp.result
 (** Escape hatch: one trial's raw simulator result, memory image
     included — for output rendering and debugging. Use {!trial_rng} to
-    reproduce the RNG of a {!run} trial. *)
+    reproduce the RNG of a {!run} trial. [taint] runs the shadow-taint
+    interpreter (identical behaviour and fault landings, plus a
+    fault-flow summary). *)
 
 val run_trial :
   ?score:(Sim.Interp.result -> float) ->
+  ?taint:bool ->
   prepared ->
   errors:int ->
   rng:Random.State.t ->
@@ -86,6 +99,7 @@ val trial_rng :
 val run :
   ?jobs:int ->
   ?score:(Sim.Interp.result -> float) ->
+  ?taint:bool ->
   prepared ->
   errors:int ->
   trials:int ->
@@ -96,7 +110,13 @@ val run :
     domains (default [Domain.recommended_domain_count () - 1], clamped
     to [\[1, trials\]]); the summary is identical for every [jobs]
     value, assembled in trial-index order. [score] is applied on the
-    worker domain to each completed trial. *)
+    worker domain to each completed trial. [taint] runs every trial
+    under the shadow-taint interpreter and feeds the fault-flow
+    counters in [stats]. *)
+
+val errors_capped : summary -> bool
+(** True when the injectable pool was smaller than the request, so each
+    plan holds [errors_planned] < [errors_requested] faults. *)
 
 val n : summary -> int
 val crashes : summary -> int

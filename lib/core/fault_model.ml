@@ -10,17 +10,44 @@
 
 type plan = (int, int) Hashtbl.t
 
+let planned ~injectable_total ~errors =
+  if injectable_total <= 0 then 0 else min errors injectable_total
+
+(* Two draw strategies behind one distribution (uniform without
+   replacement):
+
+   - sparse (errors << injectable_total, every paper-rate experiment):
+     rejection sampling, kept byte-for-byte identical to the historical
+     RNG stream so existing goldens and published seeds reproduce;
+   - dense (wanted approaching the population): rejection sampling
+     degenerates — at wanted = injectable_total the expected draw count
+     is n·H(n) and each tail acceptance takes ~n attempts — so a
+     partial Fisher–Yates over the ordinal pool does it in exactly
+     [wanted] index draws.
+
+   The switch at wanted*2 > injectable_total keeps expected rejection
+   work bounded (≤ 2 draws per acceptance) while leaving the sparse
+   stream untouched. *)
 let make_plan ~rng ~injectable_total ~errors : plan =
   let plan = Hashtbl.create (max errors 1) in
   if injectable_total > 0 then begin
     let wanted = min errors injectable_total in
-    (* Rejection sampling: fine because errors << injectable_total in
-       every experiment (paper rates are ~10^-5 per instruction). *)
-    while Hashtbl.length plan < wanted do
-      let ordinal = Random.State.int rng injectable_total in
-      if not (Hashtbl.mem plan ordinal) then
-        Hashtbl.replace plan ordinal (Random.State.int rng 64)
-    done
+    if wanted * 2 <= injectable_total then
+      while Hashtbl.length plan < wanted do
+        let ordinal = Random.State.int rng injectable_total in
+        if not (Hashtbl.mem plan ordinal) then
+          Hashtbl.replace plan ordinal (Random.State.int rng 64)
+      done
+    else begin
+      let pool = Array.init injectable_total Fun.id in
+      for i = 0 to wanted - 1 do
+        let j = i + Random.State.int rng (injectable_total - i) in
+        let t = pool.(i) in
+        pool.(i) <- pool.(j);
+        pool.(j) <- t;
+        Hashtbl.replace plan pool.(i) (Random.State.int rng 64)
+      done
+    end
   end;
   plan
 

@@ -6,9 +6,19 @@ type plan = (int, int) Hashtbl.t
 (** injectable-instruction ordinal -> bit position (0..63; folded onto
     0..31 for integer destinations by the interpreter) *)
 
+val planned : injectable_total:int -> errors:int -> int
+(** How many faults a plan will actually hold:
+    [min errors injectable_total], and [0] for an empty population —
+    the cap campaigns must report instead of the raw request. *)
+
 val make_plan :
   rng:Random.State.t -> injectable_total:int -> errors:int -> plan
-(** Draws [min errors injectable_total] distinct ordinals. *)
+(** Draws {!planned} distinct ordinals uniformly without replacement.
+    Sparse requests (≤ half the population) use rejection sampling with
+    the historical RNG stream — seeds reproduce published goldens;
+    denser requests switch to a partial Fisher–Yates shuffle, which
+    stays O(wanted) where rejection sampling degenerates near
+    saturation. *)
 
 val injection : tags:bool array array -> plan:plan -> Sim.Interp.injection
 

@@ -58,19 +58,82 @@ let acc_max (a : acc) = if a.count = 0 then None else Some a.max
 
 (* ------------------------------------------------------------------ *)
 
+(* Fault-flow class counters (shadow-taint taxonomy, DESIGN §11).
+   Plain additive counters, so they merge like everything else; only
+   trials run with taint on feed them, so [flows_total] can be below
+   [n] for untainted campaigns (and is 0 for all of them today). *)
+type flows = {
+  vanished : int;
+  data_only : int;
+  reached_memory : int;
+  reached_address : int;
+  reached_control : int;
+}
+
+let flows_empty =
+  {
+    vanished = 0;
+    data_only = 0;
+    reached_memory = 0;
+    reached_address = 0;
+    reached_control = 0;
+  }
+
+let flows_add (f : flows) (c : Sim.Taint.flow) =
+  match c with
+  | Sim.Taint.Vanished -> { f with vanished = f.vanished + 1 }
+  | Sim.Taint.Data_only -> { f with data_only = f.data_only + 1 }
+  | Sim.Taint.Reached_memory -> { f with reached_memory = f.reached_memory + 1 }
+  | Sim.Taint.Reached_address ->
+    { f with reached_address = f.reached_address + 1 }
+  | Sim.Taint.Reached_control ->
+    { f with reached_control = f.reached_control + 1 }
+
+let flows_merge (a : flows) (b : flows) =
+  {
+    vanished = a.vanished + b.vanished;
+    data_only = a.data_only + b.data_only;
+    reached_memory = a.reached_memory + b.reached_memory;
+    reached_address = a.reached_address + b.reached_address;
+    reached_control = a.reached_control + b.reached_control;
+  }
+
+let flows_total (f : flows) =
+  f.vanished + f.data_only + f.reached_memory + f.reached_address
+  + f.reached_control
+
+let flows_get (f : flows) (c : Sim.Taint.flow) =
+  match c with
+  | Sim.Taint.Vanished -> f.vanished
+  | Sim.Taint.Data_only -> f.data_only
+  | Sim.Taint.Reached_memory -> f.reached_memory
+  | Sim.Taint.Reached_address -> f.reached_address
+  | Sim.Taint.Reached_control -> f.reached_control
+
 type t = {
   n : int;          (* trials observed *)
   crashes : int;
   infinite : int;
   completed : int;
   fidelity : acc;   (* over completed trials that were scored *)
+  flows : flows;    (* taint-mode trials only *)
 }
 
 let empty =
-  { n = 0; crashes = 0; infinite = 0; completed = 0; fidelity = acc_empty }
+  {
+    n = 0;
+    crashes = 0;
+    infinite = 0;
+    completed = 0;
+    fidelity = acc_empty;
+    flows = flows_empty;
+  }
 
-let observe (s : t) (outcome : Outcome.t) ~(fidelity : float option) =
+let observe ?flow (s : t) (outcome : Outcome.t) ~(fidelity : float option) =
   let s = { s with n = s.n + 1 } in
+  let s =
+    match flow with None -> s | Some c -> { s with flows = flows_add s.flows c }
+  in
   match outcome with
   | Outcome.Crash _ -> { s with crashes = s.crashes + 1 }
   | Outcome.Infinite -> { s with infinite = s.infinite + 1 }
@@ -91,6 +154,7 @@ let merge (a : t) (b : t) =
     infinite = a.infinite + b.infinite;
     completed = a.completed + b.completed;
     fidelity = acc_merge a.fidelity b.fidelity;
+    flows = flows_merge a.flows b.flows;
   }
 
 let catastrophic (s : t) = s.crashes + s.infinite

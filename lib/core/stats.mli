@@ -29,19 +29,38 @@ val acc_stddev : acc -> float option
 val acc_min : acc -> float option
 val acc_max : acc -> float option
 
+(** Additive fault-flow class counters (shadow-taint taxonomy). Only
+    trials run with taint on feed them, so their total can be below
+    {!t.n}. *)
+type flows = {
+  vanished : int;
+  data_only : int;
+  reached_memory : int;
+  reached_address : int;
+  reached_control : int;
+}
+
+val flows_empty : flows
+val flows_add : flows -> Sim.Taint.flow -> flows
+val flows_merge : flows -> flows -> flows
+val flows_total : flows -> int
+val flows_get : flows -> Sim.Taint.flow -> int
+
 type t = {
   n : int;  (** trials observed *)
   crashes : int;
   infinite : int;
   completed : int;
   fidelity : acc;  (** over completed trials that were scored *)
+  flows : flows;  (** taint-mode trials only *)
 }
 
 val empty : t
 
-val observe : t -> Outcome.t -> fidelity:float option -> t
+val observe : ?flow:Sim.Taint.flow -> t -> Outcome.t -> fidelity:float option -> t
 (** Count one classified trial; a [Some] fidelity on a completed trial
-    also feeds the fidelity accumulator. *)
+    also feeds the fidelity accumulator, and a [flow] feeds the
+    fault-flow counters. *)
 
 val merge : t -> t -> t
 val catastrophic : t -> int

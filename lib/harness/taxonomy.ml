@@ -77,3 +77,98 @@ let to_table ~(mode : Experiment.mode) rows : Report.table =
 
 let render ~(mode : Experiment.mode) rows =
   Report.to_text (to_table ~mode rows)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-flow taxonomy: the shadow-taint audit (DESIGN §11), per app
+   under the two informative policies. [Protect_control] carries the
+   soundness invariant (zero memory-free control contamination);
+   [Protect_nothing] is the positive control whose contamination shows
+   the taint machinery actually observes faults reaching branches. *)
+
+type audit_row = {
+  audit_app : string;
+  report : Core.Audit.report;
+}
+
+let audit_policies = [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ]
+
+let audit ?(errors = 10) ?(trials = 30) ?(seed = 41) ?jobs
+    ~(mode : Experiment.mode) (loaded : Experiment.loaded list) :
+    audit_row list =
+  List.concat_map
+    (fun (l : Experiment.loaded) ->
+      List.map
+        (fun policy ->
+          let p = l.Experiment.prepared mode policy in
+          {
+            audit_app = l.Experiment.app.Apps.App.name;
+            report = Core.Audit.run ?jobs p ~errors ~trials ~seed;
+          })
+        audit_policies)
+    loaded
+
+let audit_table ~(mode : Experiment.mode) (rows : audit_row list) :
+    Report.table =
+  let errors, trials =
+    match rows with [] -> (0, 0) | r :: _ -> (r.report.Core.Audit.errors, r.report.Core.Audit.trials)
+  in
+  Report.table ~id:"audit"
+    ~title:
+      (Printf.sprintf
+         "Fault-flow taxonomy at %d errors x %d trials (%s tagging): \
+          trial counts per taint class, control-contamination events, \
+          soundness verdict"
+         errors trials
+         (Experiment.mode_name mode))
+    ~columns:
+      [
+        Report.column ~key:"app" "app";
+        Report.column ~key:"policy" "policy";
+        Report.column ~key:"vanished" "vanished";
+        Report.column ~key:"data_only" "data";
+        Report.column ~key:"reached_memory" "mem";
+        Report.column ~key:"reached_address" "addr";
+        Report.column ~key:"reached_control" "ctl";
+        Report.column ~key:"ctl_free_events" "ctl-free";
+        Report.column ~key:"ctl_via_mem_events" "ctl-via-mem";
+        Report.column ~key:"verdict" "verdict";
+      ]
+    (List.map
+       (fun r ->
+         let rep = r.report in
+         let f = rep.Core.Audit.stats.Core.Stats.flows in
+         [
+           Report.text r.audit_app;
+           Report.text (Core.Policy.to_string rep.Core.Audit.policy);
+           Report.count f.Core.Stats.vanished;
+           Report.count f.Core.Stats.data_only;
+           Report.count f.Core.Stats.reached_memory;
+           Report.count f.Core.Stats.reached_address;
+           Report.count f.Core.Stats.reached_control;
+           Report.count rep.Core.Audit.control_free;
+           Report.count rep.Core.Audit.control_via_memory;
+           Report.text
+             (match rep.Core.Audit.policy with
+              | Core.Policy.Protect_nothing -> "n/a"
+              | _ -> if Core.Audit.sound rep then "sound" else "VIOLATED");
+         ])
+       rows)
+
+let audit_violations (rows : audit_row list) =
+  List.filter (fun r -> not (Core.Audit.sound r.report)) rows
+
+let render_audit ~(mode : Experiment.mode) (rows : audit_row list) =
+  let bad = audit_violations rows in
+  Report.to_text (audit_table ~mode rows)
+  ^ "\n\n"
+  ^
+  if bad = [] then
+    "invariant holds: no memory-free control contamination under \
+     protect-control in any trial"
+  else
+    String.concat "\n"
+      (List.map
+         (fun r ->
+           Printf.sprintf "VIOLATION %s %s" r.audit_app
+             (Core.Audit.describe r.report))
+         bad)

@@ -54,6 +54,9 @@ type result = {
   trap_site : (string * int) option;
       (* (function name, body index) of the trapping instruction when
          [outcome] is [Trapped]; [None] otherwise *)
+  fault_flow : Taint.summary option;
+      (* [Some] iff [taint] was set: the shadow-taint fault-flow
+         classification of this run *)
 }
 
 exception Timeout_exn
@@ -113,8 +116,17 @@ let f2i (x : float) =
 
 let no_counts : int array = [||]
 
+(* Taint mode is a second, fully separate interpreter loop ([call_t]
+   below) rather than hooks in the plain one: the plain loop is the
+   campaign hot path and must not pay even a predictable branch per
+   instruction for an audit-only feature. The two loops share every
+   value-level helper ([binop_i], [f2i], the plan cursor, the trap
+   bookkeeping), execute instructions in the same order and call the
+   injection hook at the same write-back points, so ordinals — and
+   therefore where a plan's faults land — are identical in both modes;
+   test_taint pins that equivalence with a property test. *)
 let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
-    (code : Code.t) : result =
+    ?(taint = false) (code : Code.t) : result =
   let memory = Memory.of_prog ?lenient code.Code.prog in
   let dyn = ref 0 in
   let inj_seen = ref 0 in
@@ -322,16 +334,261 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     in
     loop 0
   in
+  (* ---------------- taint-instrumented twin of [call] ---------------- *)
+  let tr =
+    Taint.make ~cells:(if taint then Memory.size_bytes memory / 4 else 0)
+  in
+  (* Returns the function's result together with the taint of the
+     returned value, so contamination survives call boundaries. *)
+  let rec call_t depth fid set_args : Value.t option * Taint.mask =
+    if depth > max_call_depth then
+      raise (Trap.Error (Trap.Call_stack_overflow depth));
+    let df = code.Code.funcs.(fid) in
+    let iregs = Array.make (max df.Code.n_int 1) 0 in
+    let fregs = Array.make (max df.Code.n_flt 1) 0.0 in
+    let itn = Array.make (max df.Code.n_int 1) Taint.none in
+    let ftn = Array.make (max df.Code.n_flt 1) Taint.none in
+    set_args iregs fregs itn ftn;
+    let body = df.Code.dbody in
+    let len = Array.length body in
+    let counts = if count_exec then exec_counts.(fid) else no_counts in
+    let ftags = if has_injection then all_tags.(fid) else [||] in
+    let inject_i pc v =
+      if has_injection && Array.unsafe_get ftags pc then begin
+        let ord = !inj_seen in
+        incr inj_seen;
+        if ord = !next_planned then
+          Value.flip_int ~bit:(advance_plan () land 31) v
+        else v
+      end
+      else v
+    in
+    let inject_f pc x =
+      if has_injection && Array.unsafe_get ftags pc then begin
+        let ord = !inj_seen in
+        incr inj_seen;
+        if ord = !next_planned then
+          Value.flip_float ~bit:(advance_plan () land 63) x
+        else x
+      end
+      else x
+    in
+    (* Write-back with shadow taint: record operand taint [tv] flowing
+       into the destination, run the injection hook at exactly the same
+       point as the plain loop, and seed fresh (memory-free) taint when
+       a fault lands here. *)
+    let set_i d pc tv v =
+      Taint.propagate tr tv;
+      let l0 = !landed in
+      iregs.(d) <- inject_i pc v;
+      itn.(d) <- (if !landed > l0 then tv lor Taint.fresh else tv)
+    in
+    let set_f d pc tv x =
+      Taint.propagate tr tv;
+      let l0 = !landed in
+      fregs.(d) <- inject_f pc x;
+      ftn.(d) <- (if !landed > l0 then tv lor Taint.fresh else tv)
+    in
+    let rec loop pc : Value.t option * Taint.mask =
+      if pc >= len then
+        invalid_arg (Printf.sprintf "pc past end of %s" df.Code.name);
+      let d = Array.unsafe_get body pc in
+      (match d with
+       | Code.DNop -> ()
+       | _ ->
+         incr dyn;
+         if !dyn > budget then raise Timeout_exn;
+         if count_exec then counts.(pc) <- counts.(pc) + 1);
+      match d with
+      | Code.DNop -> loop (pc + 1)
+      | Code.DLi (d, v) ->
+        set_i d pc Taint.none v;
+        loop (pc + 1)
+      | Code.DLf (d, x) ->
+        set_f d pc Taint.none x;
+        loop (pc + 1)
+      | Code.DLa (d, addr) ->
+        set_i d pc Taint.none addr;
+        loop (pc + 1)
+      | Code.DMovI (d, s) ->
+        set_i d pc itn.(s) iregs.(s);
+        loop (pc + 1)
+      | Code.DMovF (d, s) ->
+        set_f d pc ftn.(s) fregs.(s);
+        loop (pc + 1)
+      | Code.DBin (op, d, a, b) ->
+        (match op with
+         | Ir.Instr.Div | Ir.Instr.Rem -> Taint.sink_trap_operand tr itn.(b)
+         | _ -> ());
+        let v =
+          try binop_i op iregs.(a) iregs.(b)
+          with Trap.Error _ as e -> trap_at fid pc e
+        in
+        set_i d pc (itn.(a) lor itn.(b)) v;
+        loop (pc + 1)
+      | Code.DBini (op, d, a, n) ->
+        let v =
+          try binop_i op iregs.(a) n
+          with Trap.Error _ as e -> trap_at fid pc e
+        in
+        set_i d pc itn.(a) v;
+        loop (pc + 1)
+      | Code.DCmp (op, d, a, b) ->
+        set_i d pc (itn.(a) lor itn.(b))
+          (if cmp_i op iregs.(a) iregs.(b) then 1 else 0);
+        loop (pc + 1)
+      | Code.DFbin (op, d, a, b) ->
+        set_f d pc (ftn.(a) lor ftn.(b)) (binop_f op fregs.(a) fregs.(b));
+        loop (pc + 1)
+      | Code.DFun (op, d, s) ->
+        set_f d pc ftn.(s) (unop_f op fregs.(s));
+        loop (pc + 1)
+      | Code.DFcmp (op, d, a, b) ->
+        set_i d pc (ftn.(a) lor ftn.(b))
+          (if cmp_f op fregs.(a) fregs.(b) then 1 else 0);
+        loop (pc + 1)
+      | Code.DI2f (d, s) ->
+        set_f d pc itn.(s) (float_of_int iregs.(s));
+        loop (pc + 1)
+      | Code.DF2i (d, s) ->
+        Taint.sink_trap_operand tr ftn.(s);
+        let v =
+          try f2i fregs.(s) with Trap.Error _ as e -> trap_at fid pc e
+        in
+        set_i d pc ftn.(s) v;
+        loop (pc + 1)
+      | Code.DLw (d, b, o) ->
+        Taint.sink_address tr itn.(b);
+        let addr = iregs.(b) + o in
+        let v =
+          try Memory.load_int memory addr
+          with Trap.Error _ as e -> trap_at fid pc e
+        in
+        let c = Memory.cell_index memory addr in
+        set_i d pc
+          (Taint.loaded
+             ~cell:(if c >= 0 then Taint.mem_get tr c else Taint.none)
+             ~base:itn.(b))
+          v;
+        loop (pc + 1)
+      | Code.DSw (v, b, o) ->
+        Taint.sink_address tr itn.(b);
+        Taint.sink_memory tr itn.(v);
+        let addr = iregs.(b) + o in
+        (try Memory.store_int memory addr iregs.(v)
+         with Trap.Error _ as e -> trap_at fid pc e);
+        let c = Memory.cell_index memory addr in
+        if c >= 0 then Taint.mem_set tr c (Taint.stored (itn.(v) lor itn.(b)));
+        loop (pc + 1)
+      | Code.DLb (d, b, o) ->
+        Taint.sink_address tr itn.(b);
+        let addr = iregs.(b) + o in
+        let v =
+          try Memory.load_byte memory addr
+          with Trap.Error _ as e -> trap_at fid pc e
+        in
+        let c = Memory.byte_cell_index memory addr in
+        set_i d pc
+          (Taint.loaded
+             ~cell:(if c >= 0 then Taint.mem_get tr c else Taint.none)
+             ~base:itn.(b))
+          v;
+        loop (pc + 1)
+      | Code.DSb (v, b, o) ->
+        Taint.sink_address tr itn.(b);
+        Taint.sink_memory tr itn.(v);
+        let addr = iregs.(b) + o in
+        (try Memory.store_byte memory addr iregs.(v)
+         with Trap.Error _ as e -> trap_at fid pc e);
+        let c = Memory.byte_cell_index memory addr in
+        if c >= 0 then Taint.mem_union tr c (Taint.stored (itn.(v) lor itn.(b)));
+        loop (pc + 1)
+      | Code.DLwf (d, b, o) ->
+        Taint.sink_address tr itn.(b);
+        let addr = iregs.(b) + o in
+        let x =
+          try Memory.load_flt memory addr
+          with Trap.Error _ as e -> trap_at fid pc e
+        in
+        let c = Memory.cell_index memory addr in
+        set_f d pc
+          (Taint.loaded
+             ~cell:(if c >= 0 then Taint.mem_get tr c else Taint.none)
+             ~base:itn.(b))
+          x;
+        loop (pc + 1)
+      | Code.DSwf (v, b, o) ->
+        Taint.sink_address tr itn.(b);
+        Taint.sink_memory tr ftn.(v);
+        let addr = iregs.(b) + o in
+        (try Memory.store_flt memory addr fregs.(v)
+         with Trap.Error _ as e -> trap_at fid pc e);
+        let c = Memory.cell_index memory addr in
+        if c >= 0 then Taint.mem_set tr c (Taint.stored (ftn.(v) lor itn.(b)));
+        loop (pc + 1)
+      | Code.DBr (op, a, b, target) ->
+        Taint.sink_control tr ~fid ~pc (itn.(a) lor itn.(b));
+        if cmp_i op iregs.(a) iregs.(b) then loop target else loop (pc + 1)
+      | Code.DBrz (op, a, target) ->
+        Taint.sink_control tr ~fid ~pc itn.(a);
+        if cmp_i op iregs.(a) 0 then loop target else loop (pc + 1)
+      | Code.DJmp target -> loop target
+      | Code.DCall c ->
+        let set callee_i callee_f callee_it callee_ft =
+          Array.iter
+            (fun (src, dst) ->
+              callee_i.(dst) <- iregs.(src);
+              callee_it.(dst) <- itn.(src))
+            c.Code.iargs;
+          Array.iter
+            (fun (src, dst) ->
+              callee_f.(dst) <- fregs.(src);
+              callee_ft.(dst) <- ftn.(src))
+            c.Code.fargs
+        in
+        let ret, rt =
+          try call_t (depth + 1) c.Code.fid set
+          with Trap.Error _ as e -> trap_at fid pc e
+        in
+        (if c.Code.dst >= 0 then
+           match ret with
+           | Some (Value.I v) when not c.Code.dst_flt -> set_i c.Code.dst pc rt v
+           | Some (Value.F x) when c.Code.dst_flt -> set_f c.Code.dst pc rt x
+           | _ -> invalid_arg "return bank mismatch at runtime");
+        loop (pc + 1)
+      | Code.DRetI r -> (Some (Value.I iregs.(r)), itn.(r))
+      | Code.DRetF r -> (Some (Value.F fregs.(r)), ftn.(r))
+      | Code.DRetV -> (None, Taint.none)
+    in
+    loop 0
+  in
   let outcome =
-    try Done (call 0 code.Code.entry_fid (fun _ _ -> ())) with
-    | Trap.Error t -> Trapped t
-    | Timeout_exn -> Timeout
+    if taint then (
+      try
+        let ret, rt = call_t 0 code.Code.entry_fid (fun _ _ _ _ -> ()) in
+        (* A tainted entry return value is program output contamination
+           even though no frame survives to hold it. *)
+        Taint.propagate tr rt;
+        Done ret
+      with
+      | Trap.Error t -> Trapped t
+      | Timeout_exn -> Timeout)
+    else
+      try Done (call 0 code.Code.entry_fid (fun _ _ -> ())) with
+      | Trap.Error t -> Trapped t
+      | Timeout_exn -> Timeout
   in
   let trap_site =
     match outcome with
     | Trapped _ when !trap_fid >= 0 ->
       Some (code.Code.funcs.(!trap_fid).Code.name, !trap_pc)
     | _ -> None
+  in
+  let fault_flow =
+    if taint then
+      Some
+        (Taint.summarize tr ~func_name:(fun f -> code.Code.funcs.(f).Code.name))
+    else None
   in
   {
     outcome;
@@ -341,6 +598,7 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     memory;
     exec_counts;
     trap_site;
+    fault_flow;
   }
 
 (* Fault-free execution, trusting the program: raises on trap/timeout. *)

@@ -44,6 +44,9 @@ type result = {
           body index of the instruction whose evaluation trapped.
           Stack-overflow traps are attributed to the overflowing call
           site. [None] for [Done] and [Timeout]. *)
+  fault_flow : Taint.summary option;
+      (** shadow-taint fault-flow classification; [Some] iff the run
+          was started with [~taint:true] *)
 }
 
 exception Timeout_exn
@@ -55,10 +58,15 @@ val run :
   ?lenient:bool ->
   ?budget:int ->
   ?count_exec:bool ->
+  ?taint:bool ->
   Code.t ->
   result
 (** Execute from the entry function. [budget] defaults to 10^8 dynamic
-    instructions; [lenient] selects the memory model (default strict). *)
+    instructions; [lenient] selects the memory model (default strict).
+    [taint] (default off) runs the shadow-taint twin of the
+    interpreter: identical architectural behaviour and fault landings,
+    plus a {!Taint.summary} in [fault_flow]. The plain path pays
+    nothing for the feature — taint mode is a separate loop. *)
 
 val run_exn :
   ?lenient:bool -> ?budget:int -> ?count_exec:bool -> Code.t -> result

@@ -121,6 +121,22 @@ let store_byte t addr v =
     end
   end
 
+(* Non-trapping address->cell resolution for the taint interpreter: the
+   cell a word access at [addr] touches under this machine's model, or
+   -1 when the access misses the image (lenient zero page) or would
+   trap. Callers resolve only after the real access succeeded, so -1
+   here means "no cell to shadow", never a swallowed trap. *)
+let cell_index t addr =
+  let addr =
+    if addr land 3 = 0 then addr
+    else if t.lenient then addr land lnot 3
+    else -1
+  in
+  if addr < 4 || addr >= t.size_bytes then -1 else addr lsr 2
+
+let byte_cell_index t addr =
+  if addr < 4 || addr >= t.size_bytes then -1 else addr lsr 2
+
 (* Non-trapping inspection, for harness output extraction and tests. *)
 let peek t addr : Value.t option =
   if addr land 3 <> 0 || addr < 0 || addr >= t.size_bytes then None
@@ -175,9 +191,20 @@ let read_global t (prog : Ir.Prog.t) name : Value.t array =
              Value.I t.ints.(base_cell + i)
            else Value.F t.flts.(base_cell + i)))
 
+(* [int_of_float] has an unspecified result for nan/inf and values
+   outside the int range — all reachable in a cell after a float-bank
+   injection (a flipped exponent bit turns a finite double into inf).
+   Clamp those to 0 so output extraction (and the byte-match fidelity
+   built on it) stays deterministic instead of poisoned by whatever the
+   platform's conversion returns. *)
+let int_of_float_total x =
+  if Float.is_finite x && x >= -2147483648.0 && x < 2147483648.0 then
+    int_of_float x
+  else 0
+
 let read_global_ints t prog name =
   Array.map
-    (function Value.I v -> v | Value.F x -> int_of_float x)
+    (function Value.I v -> v | Value.F x -> int_of_float_total x)
     (read_global t prog name)
 
 let read_global_flts t prog name =

@@ -30,6 +30,15 @@ val store_byte : t -> int -> int -> unit
 val peek : t -> int -> Value.t option
 (** Non-trapping inspection (word granularity). *)
 
+val cell_index : t -> int -> int
+(** Non-trapping resolution of a word access to its cell under this
+    machine's model, or [-1] when the access hits no cell (lenient
+    zero page, or an address that would trap). For the taint
+    interpreter's shadow memory. *)
+
+val byte_cell_index : t -> int -> int
+(** Like {!cell_index} for byte accesses (no alignment handling). *)
+
 val of_prog : ?lenient:bool -> Ir.Prog.t -> t
 (** Lay out and initialize the program's globals (see
     {!Ir.Prog.layout}). *)
@@ -38,4 +47,8 @@ val read_global : t -> Ir.Prog.t -> string -> Value.t array
 (** A whole global in element order; byte globals are unpacked. *)
 
 val read_global_ints : t -> Ir.Prog.t -> string -> int array
+(** Float cells convert with truncation; non-finite or out-of-range
+    doubles (reachable after float injection) read as [0] instead of
+    the platform's unspecified [int_of_float] result. *)
+
 val read_global_flts : t -> Ir.Prog.t -> string -> float array

@@ -217,6 +217,54 @@ let plan_determinism =
            (fun k v acc -> acc && Hashtbl.find_opt b k = Some v)
            a true)
 
+(* Dense requests take the Fisher–Yates path (rejection sampling
+   degenerates near saturation); the plan must still be exactly
+   [wanted] distinct in-range ordinals — including full saturation,
+   where rejection sampling's expected work would be n·H(n). *)
+let plan_dense_fisher_yates =
+  QCheck.Test.make ~name:"dense plans: distinct, in-range, full-size"
+    ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 1 200))
+    (fun (seed, total) ->
+      let errors = total in  (* wanted = total: the worst case *)
+      let rng = Random.State.make [| seed |] in
+      let plan = Core.Fault_model.make_plan ~rng ~injectable_total:total ~errors in
+      Hashtbl.length plan = total
+      && Hashtbl.fold
+           (fun ord bit acc ->
+             acc && ord >= 0 && ord < total && bit >= 0 && bit < 64)
+           plan true)
+
+let test_planned_cap () =
+  Alcotest.(check int) "capped" 10
+    (Core.Fault_model.planned ~injectable_total:10 ~errors:50);
+  Alcotest.(check int) "uncapped" 5
+    (Core.Fault_model.planned ~injectable_total:10 ~errors:5);
+  Alcotest.(check int) "empty pool" 0
+    (Core.Fault_model.planned ~injectable_total:0 ~errors:5)
+
+(* The sparse path must keep the historical RNG stream: same seed, same
+   plan as the rejection sampler always drew. Frozen expectation from
+   the pre-Fisher–Yates implementation. *)
+let test_plan_sparse_stream_frozen () =
+  let rng = Random.State.make [| 7 |] in
+  let plan = Core.Fault_model.make_plan ~rng ~injectable_total:100 ~errors:3 in
+  let expected_rng = Random.State.make [| 7 |] in
+  let expected = Hashtbl.create 3 in
+  while Hashtbl.length expected < 3 do
+    let ordinal = Random.State.int expected_rng 100 in
+    if not (Hashtbl.mem expected ordinal) then
+      Hashtbl.replace expected ordinal (Random.State.int expected_rng 64)
+  done;
+  Alcotest.(check int) "same size" (Hashtbl.length expected)
+    (Hashtbl.length plan);
+  Hashtbl.iter
+    (fun ord bit ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "ordinal %d" ord)
+        (Some bit) (Hashtbl.find_opt plan ord))
+    expected
+
 (* ------------------------------------------------------------------ *)
 (* Campaigns and the soundness of protection.                          *)
 
@@ -353,6 +401,27 @@ let tagging_soundness_prop =
              | _ -> false)
            (List.init 5 Fun.id))
 
+(* A request above the injectable pool is capped per plan; the summary
+   must report the actual per-trial plan size, not echo the request. *)
+let test_campaign_cap_reported () =
+  let prog = Mlang.Compile.to_ir gcd_mlang in
+  let target = Core.Campaign.of_prog prog in
+  let p = Core.Campaign.prepare target Core.Policy.Protect_nothing in
+  let pool = p.Core.Campaign.injectable_total in
+  let s = Core.Campaign.run p ~errors:(pool + 5) ~trials:3 ~seed:1 in
+  Alcotest.(check bool) "capped flagged" true (Core.Campaign.errors_capped s);
+  Alcotest.(check int) "requested echoed" (pool + 5)
+    s.Core.Campaign.errors_requested;
+  Alcotest.(check int) "planned = pool" pool s.Core.Campaign.errors_planned;
+  List.iter
+    (fun (t : Core.Campaign.trial) ->
+      Alcotest.(check int) "trial records cap" pool
+        t.Core.Campaign.faults_planned)
+    s.Core.Campaign.trials;
+  let s' = Core.Campaign.run p ~errors:1 ~trials:2 ~seed:1 in
+  Alcotest.(check bool) "uncapped not flagged" false
+    (Core.Campaign.errors_capped s')
+
 (* Parallel determinism: the per-trial RNG derivation makes trials
    order-independent, so any jobs count must yield the same summary,
    trial for trial. Compare the observable content of each trial
@@ -365,7 +434,7 @@ let trial_fingerprint (t : Core.Campaign.trial) =
   in
   Printf.sprintf "%d/%s/%d/%d/%d" t.Core.Campaign.index
     (Core.Outcome.to_string t.Core.Campaign.outcome)
-    t.Core.Campaign.faults_requested t.Core.Campaign.faults_landed dyn
+    t.Core.Campaign.faults_planned t.Core.Campaign.faults_landed dyn
 
 let test_campaign_jobs_bit_exact () =
   let prog = Mlang.Compile.to_ir gcd_mlang in
@@ -452,6 +521,10 @@ let () =
           Alcotest.test_case "plan saturates" `Quick test_plan_saturates;
           Alcotest.test_case "empty pool" `Quick test_plan_empty_pool;
           QCheck_alcotest.to_alcotest plan_determinism;
+          QCheck_alcotest.to_alcotest plan_dense_fisher_yates;
+          Alcotest.test_case "planned cap" `Quick test_planned_cap;
+          Alcotest.test_case "sparse RNG stream frozen" `Quick
+            test_plan_sparse_stream_frozen;
         ] );
       ( "campaign",
         [
@@ -464,6 +537,8 @@ let () =
           QCheck_alcotest.to_alcotest tagging_soundness_prop;
           Alcotest.test_case "parallel jobs bit-exact" `Quick
             test_campaign_jobs_bit_exact;
+          Alcotest.test_case "cap reported in summary" `Quick
+            test_campaign_cap_reported;
           Alcotest.test_case "policy seed tags frozen" `Quick
             test_policy_seed_tag_frozen;
           Alcotest.test_case "prepare memoizes profiling" `Quick

@@ -118,6 +118,26 @@ let test_memory_of_prog_init () =
   let back = Sim.Memory.read_global_ints m p "b" in
   Alcotest.(check (array int)) "read_global bytes" [| 1; 2; 3; 4; 5 |] back
 
+(* Regression: [int_of_float] is unspecified for nan/inf and values
+   outside the int range — all reachable in a float cell after a float
+   injection flips an exponent bit. [read_global_ints] must clamp them
+   to 0 instead of returning platform noise. *)
+let test_read_global_ints_nonfinite () =
+  let globals = [ Prog.global "f" Ty.F64 5 ] in
+  let main = Func.make ~name:"main" ~params:[] ~ret:None [ Instr.Ret None ] in
+  let p = Prog.make ~globals [ main ] in
+  let m = Sim.Memory.of_prog p in
+  let a = Prog.global_addr p "f" in
+  Sim.Memory.store_flt m a Float.nan;
+  Sim.Memory.store_flt m (a + 4) Float.infinity;
+  Sim.Memory.store_flt m (a + 8) Float.neg_infinity;
+  Sim.Memory.store_flt m (a + 12) 1e30;  (* finite, out of int32 range *)
+  Sim.Memory.store_flt m (a + 16) (-42.75);
+  Alcotest.(check (array int))
+    "non-finite and out-of-range clamp to 0"
+    [| 0; 0; 0; 0; -42 |]
+    (Sim.Memory.read_global_ints m p "f")
+
 (* ------------------------------------------------------------------ *)
 (* Interpreter semantics.                                              *)
 
@@ -487,6 +507,8 @@ let () =
           Alcotest.test_case "lenient (sim-safe)" `Quick test_memory_lenient;
           Alcotest.test_case "byte lanes" `Quick test_memory_bytes;
           Alcotest.test_case "of_prog init" `Quick test_memory_of_prog_init;
+          Alcotest.test_case "read_global_ints non-finite" `Quick
+            test_read_global_ints_nonfinite;
         ] );
       ( "interp",
         [
