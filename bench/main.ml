@@ -111,6 +111,117 @@ let run_ablations ~trials ?jobs loaded =
   say "%s" (Harness.Ablation.render_eligibility b)
 
 (* ------------------------------------------------------------------ *)
+(* Checkpointed campaigns: fork-from-prefix vs from-scratch, with the
+   per-phase wall clock (prepare / golden checkpointing / trials) and
+   the checkpoint hit-rate. Two fault densities: the dense e=20 cell is
+   timeout-dominated (skipping the fault-free prefix saves ~1/(e+1) of
+   each completed trial and nothing of the infinite-loop trials, which
+   must run to their budget to stay bit-exact), while the sparse e=1
+   cell skips ~half of every trial — the regime checkpointing targets.
+   Both paths must produce identical trial records; the run aborts if
+   they diverge. *)
+
+type ckpt_cell = {
+  ck_label : string;
+  ck_errors : int;
+  ck_trials : int;  (* per policy *)
+  ck_resumed_s : float;
+  ck_scratch_s : float;
+  ck_hits : int;        (* trials fast-forwarded past a non-empty prefix *)
+  ck_total : int;       (* trials across both policies *)
+  ck_skipped_dyn : int; (* dynamic instructions not re-executed *)
+}
+
+let run_checkpoint ~quick ?jobs () : ckpt_cell list =
+  section "Checkpointed campaigns — fork-from-prefix vs from-scratch (susan)";
+  let trials = if quick then 25 else 100 in
+  let seed = 1 in
+  let b = Apps.Susan.app.Apps.App.build ~seed in
+  let target =
+    timed "ckpt_prepare" (fun () -> Core.Campaign.of_prog b.Apps.App.prog)
+  in
+  let golden = target.Core.Campaign.baseline in
+  let score r = b.Apps.App.score ~golden r in
+  let policies = [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ] in
+  (* Golden checkpointing passes (one per policy); the stride-0 prepares
+     are arithmetic only. *)
+  let ps_on =
+    timed "ckpt_golden" (fun () ->
+        List.map (fun policy -> Core.Campaign.prepare target policy) policies)
+  in
+  let ps_off =
+    List.map
+      (fun policy -> Core.Campaign.prepare ~checkpoint_stride:0 target policy)
+      policies
+  in
+  let fingerprint (t : Core.Campaign.trial) =
+    Printf.sprintf "%d/%s/%d/%d/%d/%s" t.Core.Campaign.index
+      (Core.Outcome.describe t.Core.Campaign.outcome)
+      t.Core.Campaign.dyn_count t.Core.Campaign.faults_planned
+      t.Core.Campaign.faults_landed
+      (match t.Core.Campaign.fidelity with
+       | None -> "-"
+       | Some f -> Printf.sprintf "%h" f)
+  in
+  let campaign ps ~errors =
+    List.map
+      (fun p ->
+        Core.Campaign.run ?jobs ~score p ~errors ~trials ~seed:(seed + 100))
+      ps
+  in
+  List.map
+    (fun errors ->
+      let label = Printf.sprintf "e=%d" errors in
+      let wall name f =
+        let t0 = Unix.gettimeofday () in
+        let r = timed name f in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let on, resumed_s =
+        wall
+          (Printf.sprintf "ckpt_trials_resumed[%s]" label)
+          (fun () -> campaign ps_on ~errors)
+      in
+      let off, scratch_s =
+        wall
+          (Printf.sprintf "ckpt_trials_scratch[%s]" label)
+          (fun () -> campaign ps_off ~errors)
+      in
+      List.iter2
+        (fun (a : Core.Campaign.summary) (b : Core.Campaign.summary) ->
+          let fp s = List.map fingerprint s.Core.Campaign.trials in
+          if fp a <> fp b then
+            failwith
+              ("checkpointed and from-scratch trial records diverge at "
+             ^ label))
+        on off;
+      let hits =
+        List.fold_left (fun n s -> n + s.Core.Campaign.resumed_trials) 0 on
+      in
+      let skipped =
+        List.fold_left (fun n s -> n + s.Core.Campaign.skipped_dyn) 0 on
+      in
+      let total = 2 * trials in
+      say
+        "  %-5s %3d trials x 2 policies: %6.2f s resumed vs %6.2f s \
+         from-scratch (%.2fx)  hit-rate %d/%d  skipped %d Mdyn  [records \
+         identical]"
+        label trials resumed_s scratch_s
+        (scratch_s /. Float.max resumed_s 1e-9)
+        hits total (skipped / 1_000_000);
+      {
+        ck_label = label;
+        ck_errors = errors;
+        ck_trials = trials;
+        ck_resumed_s = resumed_s;
+        ck_scratch_s = scratch_s;
+        ck_hits = hits;
+        ck_total = total;
+        ck_skipped_dyn = skipped;
+      })
+    [ 20; 1 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the platform itself.                   *)
 
 let micro () : (string * float) list =
@@ -185,7 +296,7 @@ let micro () : (string * float) list =
 
 let round3 x = Float.round (x *. 1000.0) /. 1000.0
 
-let write_json (path, oc) ~jobs ~quick ~experiments ~micro ~total =
+let write_json (path, oc) ~jobs ~quick ~experiments ~micro ~checkpoint ~total =
   let open Report.Json in
   let timing_rows key rows =
     Arr
@@ -193,6 +304,26 @@ let write_json (path, oc) ~jobs ~quick ~experiments ~micro ~total =
          (fun (name, v) ->
            Obj [ ("name", Str name); (key, Float (round3 v)) ])
          rows)
+  in
+  let checkpoint_rows =
+    Arr
+      (List.map
+         (fun c ->
+           Obj
+             [
+               ("cell", Str c.ck_label);
+               ("errors", Int c.ck_errors);
+               ("trials_per_policy", Int c.ck_trials);
+               ("trials_resumed_wall_s", Float (round3 c.ck_resumed_s));
+               ("trials_scratch_wall_s", Float (round3 c.ck_scratch_s));
+               ( "speedup",
+                 Float (round3 (c.ck_scratch_s /. Float.max c.ck_resumed_s 1e-9))
+               );
+               ("checkpoint_hits", Int c.ck_hits);
+               ("trials_total", Int c.ck_total);
+               ("skipped_dyn", Int c.ck_skipped_dyn);
+             ])
+         checkpoint)
   in
   let doc =
     Obj
@@ -202,6 +333,7 @@ let write_json (path, oc) ~jobs ~quick ~experiments ~micro ~total =
         ("jobs", of_int_opt jobs);
         ("experiments", timing_rows "wall_s" experiments);
         ("micro", timing_rows "ns_per_run" micro);
+        ("checkpoint", checkpoint_rows);
         ("total_wall_s", Float (round3 total));
       ]
   in
@@ -254,7 +386,7 @@ let () =
   let needs_apps =
     args = []
     || List.exists
-         (fun a -> a <> "micro")
+         (fun a -> a <> "micro" && a <> "checkpoint")
          args
   in
   let t0 = Unix.gettimeofday () in
@@ -273,15 +405,18 @@ let () =
   run_figures ~trials ?jobs ~which:want loaded;
   if want "ablation" then run_ablations ~trials ?jobs loaded;
   if want "extensions" then run_extensions ~trials ?jobs loaded;
+  let checkpoint_results =
+    if want "checkpoint" then run_checkpoint ~quick ?jobs () else []
+  in
   let micro_results = if want "micro" then timed "micro" micro else [] in
   let total = Unix.gettimeofday () -. t0 in
   say "";
   List.iter
-    (fun (name, secs) -> say "  %-24s %7.2f s" name secs)
+    (fun (name, secs) -> say "  %-28s %7.2f s" name secs)
     !experiment_times;
   say "total wall time: %.1f s" total;
   match json with
   | None -> ()
   | Some dest ->
     write_json dest ~jobs ~quick ~experiments:!experiment_times
-      ~micro:micro_results ~total
+      ~micro:micro_results ~checkpoint:checkpoint_results ~total

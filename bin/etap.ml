@@ -56,6 +56,20 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 
+let stride_arg =
+  let doc =
+    "Golden checkpoint spacing in injectable ordinals. Trials \
+     fast-forward from the nearest checkpoint at or before their first \
+     planned fault; results are bit-identical for every value. Defaults \
+     to an automatic stride (up to 64 checkpoints within a memory \
+     budget); $(docv)=0 disables checkpointing and runs every trial \
+     from scratch."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-stride" ] ~docv:"N" ~doc)
+
 (* One emitter for every subcommand: the text table(s) go to stdout
    unchanged; [--json PATH] additionally writes the same tables as an
    etap-report/1 document. *)
@@ -171,7 +185,7 @@ let disasm_cmd =
     Term.(term_result (const action $ app_arg $ func_arg $ seed_arg))
 
 let inject_cmd =
-  let action name seed errors trials literal jobs json =
+  let action name seed errors trials literal jobs checkpoint_stride json =
     Result.map
       (fun (app : Apps.App.t) ->
         let b = app.Apps.App.build ~seed in
@@ -184,7 +198,9 @@ let inject_cmd =
         let summaries =
           List.map
             (fun policy ->
-              let p = Core.Campaign.prepare target policy in
+              let p =
+                Core.Campaign.prepare ?checkpoint_stride target policy
+              in
               let s =
                 Core.Campaign.run ?jobs ~score p ~errors ~trials
                   ~seed:(seed + 100)
@@ -256,6 +272,8 @@ let inject_cmd =
                    meta_int "seed" seed;
                    ("literal", Report.Json.Bool literal);
                    meta_jobs jobs;
+                   ( "checkpoint_stride",
+                     Report.Json.of_int_opt checkpoint_stride );
                    ("fidelity_units", Report.Json.Str b.Apps.App.fidelity_units);
                  ]
                [ table ]);
@@ -267,7 +285,7 @@ let inject_cmd =
     Term.(
       term_result
         (const action $ app_arg $ seed_arg $ errors_arg $ trials_arg
-       $ literal_arg $ jobs_arg $ json_arg))
+       $ literal_arg $ jobs_arg $ stride_arg $ json_arg))
 
 let asm_cmd =
   let file_arg =

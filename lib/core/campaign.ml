@@ -20,9 +20,10 @@ type target = {
   tagging : Tagging.t;
   baseline : Sim.Interp.result;  (* fault-free reference run *)
   lenient : bool;                (* sim-safe sparse-memory model *)
-  profile_memo : (bool array array, int) Hashtbl.t;
-      (* policy mask -> injectable_total: policies with identical masks
-         share one profiling run *)
+  proto : Sim.Memory.t;
+      (* prototype trial image: globals laid out once; per-trial
+         memories are blit-copies of this, never rebuilt from the
+         globals list *)
 }
 
 type prepared = {
@@ -31,6 +32,9 @@ type prepared = {
   tags : bool array array;
   injectable_total : int;  (* dynamic injectable instructions under policy *)
   budget : int;
+  snapshots : Sim.Snapshot.t option;
+      (* golden checkpoints for fork-from-prefix trials; [None] when
+         checkpointing is disabled ([~checkpoint_stride:0]) *)
 }
 
 type trial = {
@@ -52,6 +56,11 @@ type summary = {
   stats : Stats.t;
   errors_requested : int;  (* the [errors] argument *)
   errors_planned : int;    (* per-trial plan size after the pool cap *)
+  resumed_trials : int;
+      (* trials that fast-forwarded past a non-empty prefix by
+         restoring a checkpoint *)
+  skipped_dyn : int;
+      (* dynamic instructions those restores avoided re-executing *)
 }
 
 let timeout_factor = 10
@@ -62,65 +71,111 @@ let of_prog ?protect_addresses ?(lenient = true) (prog : Ir.Prog.t) =
   let code = Sim.Code.of_prog prog in
   let tagging = Tagging.compute ?protect_addresses prog in
   let baseline = Sim.Interp.run_exn ~count_exec:true code in
-  { code; tagging; baseline; lenient; profile_memo = Hashtbl.create 4 }
+  let proto = Sim.Memory.of_prog ~lenient prog in
+  { code; tagging; baseline; lenient; proto }
 
-let prepare (t : target) (policy : Policy.t) =
-  let tags = Tagging.mask t.tagging policy in
-  (* Profiling pass: count dynamic injectable instructions. Memoized on
-     the policy mask — distinct policies with the same mask (and
-     repeated [prepare] calls) share one profiling interpretation. *)
-  let injectable_total =
-    match Hashtbl.find_opt t.profile_memo tags with
-    | Some n -> n
-    | None ->
-      let injection = Fault_model.profiling_injection ~tags in
-      let r = Sim.Interp.run ~injection t.code in
-      let n =
-        match r.Sim.Interp.outcome with
-        | Sim.Interp.Done _ -> r.Sim.Interp.injectable_seen
-        | _ -> failwith "profiling run failed"
-      in
-      Hashtbl.replace t.profile_memo tags n;
-      n
-  in
-  {
-    target = t;
-    policy;
+(* The injectable pool needs no profiling interpretation: the baseline
+   already counted every dynamic execution, and the fault hook fires
+   exactly once per execution of a tagged (value-producing)
+   instruction — including call-return write-backs, which are counted
+   at the DCall's own body slot. So the pool is the sum of the
+   baseline's exec counts over tagged slots. (The fault-free baseline
+   runs strict and trials run lenient, but a fault-free run never
+   leaves the image, so the counts coincide; test_core pins this
+   arithmetic against an actual profiled run.) *)
+let injectable_pool (t : target) (tags : bool array array) =
+  let counts = t.baseline.Sim.Interp.exec_counts in
+  let total = ref 0 in
+  Array.iteri
+    (fun fid row ->
+      let cr = counts.(fid) in
+      Array.iteri (fun pc tagged -> if tagged then total := !total + cr.(pc)) row)
     tags;
-    injectable_total;
-    budget = timeout_factor * t.baseline.Sim.Interp.dyn_count;
-  }
+  !total
 
-(* Escape hatch: the raw simulator result of one trial, memory image
-   included. Everything else should go through {!run_trial}/{!run},
-   which discard the image after scoring. *)
-let run_trial_result ?(taint = false) (p : prepared) ~errors ~rng :
-    Sim.Interp.result =
+let prepare ?checkpoint_stride (t : target) (policy : Policy.t) =
+  let tags = Tagging.mask t.tagging policy in
+  let injectable_total = injectable_pool t tags in
+  let budget = timeout_factor * t.baseline.Sim.Interp.dyn_count in
+  (* Golden checkpointing pass: one fault-free interpretation under the
+     policy's tag mask, recording a snapshot every [stride] injectable
+     ordinals. Costs what the retired profiling run used to cost, and
+     every trial of this prepared target fast-forwards from it. *)
+  let snapshots =
+    let stride =
+      match checkpoint_stride with
+      | Some 0 -> None  (* checkpointing off: trials run from scratch *)
+      | Some s when s < 0 ->
+        invalid_arg "Campaign.prepare: negative checkpoint stride"
+      | Some s -> Some s
+      | None ->
+        Some
+          (Sim.Snapshot.auto_stride ~injectable_total
+             ~image_bytes:(Sim.Memory.size_bytes t.proto))
+    in
+    Option.map
+      (fun stride ->
+        Sim.Snapshot.build ~stride ~tags ~budget
+          ~memory:(Sim.Memory.copy t.proto) t.code)
+      stride
+  in
+  { target = t; policy; tags; injectable_total; budget; snapshots }
+
+(* One trial's raw simulator result, plus the dynamic instructions a
+   checkpoint restore let it skip (0 when it ran from scratch). Taint
+   trials always run from scratch: the shadow-taint twin threads its
+   state through host-stack recursion and is not snapshotable. *)
+let run_trial_raw ?(taint = false) (p : prepared) ~errors ~rng :
+    Sim.Interp.result * int =
   let plan =
     Fault_model.make_plan ~rng ~injectable_total:p.injectable_total ~errors
   in
   let injection = Fault_model.injection ~tags:p.tags ~plan in
-  Sim.Interp.run ~injection ~lenient:p.target.lenient ~budget:p.budget ~taint
-    p.target.code
+  match p.snapshots with
+  | Some snaps when not taint ->
+    (* Fast-forward: restore the nearest checkpoint at or before the
+       trial's first planned ordinal. The prefix up to that ordinal is
+       fault-free and identical in every trial, so the result is
+       bit-exact versus from-scratch execution. An empty plan resolves
+       to the last checkpoint and replays only the tail. *)
+    let first = Hashtbl.fold (fun o _ acc -> min o acc) plan max_int in
+    let snap = Sim.Snapshot.nearest snaps ~ordinal:first in
+    let m = Sim.Interp.resume ~injection snap in
+    (Sim.Interp.finish m, Sim.Interp.snapshot_dyn snap)
+  | _ ->
+    ( Sim.Interp.run ~injection ~budget:p.budget ~taint
+        ~memory:(Sim.Memory.copy p.target.proto) p.target.code,
+      0 )
 
-let run_trial ?score ?taint (p : prepared) ~errors ~rng ~index : trial =
-  let r = run_trial_result ?taint p ~errors ~rng in
+(* Escape hatch: the raw simulator result of one trial, memory image
+   included. Everything else should go through {!run_trial}/{!run},
+   which discard the image after scoring. *)
+let run_trial_result ?taint (p : prepared) ~errors ~rng : Sim.Interp.result =
+  fst (run_trial_raw ?taint p ~errors ~rng)
+
+let run_trial_skip ?score ?taint (p : prepared) ~errors ~rng ~index :
+    trial * int =
+  let r, skipped = run_trial_raw ?taint p ~errors ~rng in
   let outcome = Outcome.of_result r in
   let fidelity =
     match (outcome, score) with
     | Outcome.Completed, Some score -> Some (score r)
     | _ -> None
   in
-  {
-    index;
-    outcome;
-    dyn_count = r.Sim.Interp.dyn_count;
-    faults_planned =
-      Fault_model.planned ~injectable_total:p.injectable_total ~errors;
-    faults_landed = r.Sim.Interp.faults_landed;
-    fidelity;
-    fault_flow = r.Sim.Interp.fault_flow;
-  }
+  ( {
+      index;
+      outcome;
+      dyn_count = r.Sim.Interp.dyn_count;
+      faults_planned =
+        Fault_model.planned ~injectable_total:p.injectable_total ~errors;
+      faults_landed = r.Sim.Interp.faults_landed;
+      fidelity;
+      fault_flow = r.Sim.Interp.fault_flow;
+    },
+    skipped )
+
+let run_trial ?score ?taint (p : prepared) ~errors ~rng ~index : trial =
+  fst (run_trial_skip ?score ?taint p ~errors ~rng ~index)
 
 (* Trial [i]'s RNG depends only on [(seed, i, errors, policy)] — not on
    any other trial — so trials may run in any order, on any domain, and
@@ -134,11 +189,11 @@ let run ?jobs ?score ?taint (p : prepared) ~errors ~trials ~seed : summary =
   let results =
     Pool.map_n ?jobs trials (fun i ->
         let rng = trial_rng ~seed ~errors ~policy:p.policy i in
-        run_trial ?score ?taint p ~errors ~rng ~index:i)
+        run_trial_skip ?score ?taint p ~errors ~rng ~index:i)
   in
   let stats =
     Array.fold_left
-      (fun acc t ->
+      (fun acc (t, _) ->
         let flow =
           Option.map (fun (s : Sim.Taint.summary) -> s.Sim.Taint.flow)
             t.fault_flow
@@ -147,11 +202,14 @@ let run ?jobs ?score ?taint (p : prepared) ~errors ~trials ~seed : summary =
       Stats.empty results
   in
   {
-    trials = Array.to_list results;
+    trials = Array.to_list (Array.map fst results);
     stats;
     errors_requested = errors;
     errors_planned =
       Fault_model.planned ~injectable_total:p.injectable_total ~errors;
+    resumed_trials =
+      Array.fold_left (fun n (_, sk) -> if sk > 0 then n + 1 else n) 0 results;
+    skipped_dyn = Array.fold_left (fun n (_, sk) -> n + sk) 0 results;
   }
 
 (* True when the pool was too small for the request, so each plan holds

@@ -22,9 +22,9 @@ type target = {
   tagging : Tagging.t;
   baseline : Sim.Interp.result;  (** fault-free run, with exec counts *)
   lenient : bool;  (** sim-safe sparse-memory model for injected runs *)
-  profile_memo : (bool array array, int) Hashtbl.t;
-      (** policy mask -> injectable pool size; lets {!prepare} share one
-          profiling run across policies with identical masks *)
+  proto : Sim.Memory.t;
+      (** prototype trial image: globals laid out once, per-trial
+          memories are blit-copies *)
 }
 
 type prepared = {
@@ -32,8 +32,12 @@ type prepared = {
   policy : Policy.t;
   tags : bool array array;
   injectable_total : int;
-      (** dynamic executions of injectable instructions (profiling) *)
+      (** dynamic executions of injectable instructions — the sum of
+          the baseline's exec counts over tagged slots *)
   budget : int;  (** timeout bound: 10x the fault-free dynamic count *)
+  snapshots : Sim.Snapshot.t option;
+      (** golden checkpoints for fork-from-prefix trials; [None] iff
+          checkpointing was disabled *)
 }
 
 type trial = {
@@ -55,6 +59,11 @@ type summary = {
   stats : Stats.t;
   errors_requested : int;  (** the [errors] argument *)
   errors_planned : int;  (** per-trial plan size after the pool cap *)
+  resumed_trials : int;
+      (** trials that fast-forwarded past a non-empty prefix by
+          restoring a checkpoint (the checkpoint hit count) *)
+  skipped_dyn : int;
+      (** dynamic instructions those restores avoided re-executing *)
 }
 
 val timeout_factor : int
@@ -64,11 +73,20 @@ val of_prog :
 (** Compile, tag and run the fault-free baseline. [lenient] defaults to
     [true] — the SimpleScalar sim-safe memory model the paper used. *)
 
-val prepare : target -> Policy.t -> prepared
-(** Profiling pass: count injectable dynamic instructions under the
-    policy. Memoized per target on the policy mask, so repeated calls
-    (and distinct policies with equal masks) pay for one run. Not
-    domain-safe: call from one domain at a time. *)
+val prepare : ?checkpoint_stride:int -> target -> Policy.t -> prepared
+(** Size the injectable pool (arithmetically, from the baseline's exec
+    counts over the policy's tag mask — no profiling interpretation)
+    and run the golden checkpointing pass: one fault-free execution
+    recording immutable snapshots every [checkpoint_stride] injectable
+    ordinals. Trials in {!run} then resume from the nearest checkpoint
+    at or before their first planned fault instead of re-executing the
+    fault-free prefix — bit-exact for any stride and any [jobs].
+
+    [checkpoint_stride] defaults to {!Sim.Snapshot.auto_stride}; [0]
+    disables checkpointing (trials run from scratch); negative values
+    raise [Invalid_argument]. Taint trials ({!run} with [~taint:true])
+    always run from scratch — the shadow-taint twin is not
+    snapshotable. *)
 
 val run_trial_result :
   ?taint:bool ->

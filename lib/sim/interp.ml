@@ -17,7 +17,22 @@
    against the next pending entry instead of a hash probe on every
    injectable execution — the dominant cost of a campaign, since plans
    hold only a handful of entries while injectable executions number in
-   the hundreds of thousands. *)
+   the hundreds of thousands.
+
+   The plain execution path is an *explicit machine*: a frame stack of
+   {fid; pc; iregs; fregs} plus the dynamic counters, driven by a flat
+   dispatch loop instead of host-stack recursion. That makes the full
+   architectural state a first-class value, so execution can pause at
+   any injectable-ordinal boundary, be captured into an immutable
+   [snapshot], and resume later — the basis of checkpointed
+   fork-from-prefix campaigns (see Snapshot and Core.Campaign). A side
+   benefit: trap provenance falls out of the head frame's [pc] instead
+   of a try/with per trapping instruction, so the hot loop carries no
+   per-instruction handler set-up.
+
+   Taint mode keeps the original recursive twin ([call_t] below): it
+   threads per-frame shadow state through the host stack and is not
+   snapshotable — audit campaigns run from scratch. *)
 
 type injection = {
   tags : bool array array;  (* fid -> body index -> injectable *)
@@ -26,7 +41,7 @@ type injection = {
 }
 
 let injection ~tags ~plan : injection =
-  let plan = List.sort (fun (a, _) (b, _) -> compare (a : int) b) plan in
+  let plan = List.sort (fun (a, _) (b, _) -> Int.compare a b) plan in
   let n = List.length plan in
   let ords = Array.make n 0 and bits = Array.make n 0 in
   List.iteri
@@ -115,6 +130,422 @@ let f2i (x : float) =
   int_of_float (Float.trunc x)
 
 let no_counts : int array = [||]
+let no_tags : bool array = [||]
+
+(* ---------------------------- machine ---------------------------- *)
+
+(* One activation record. [pc] always holds the body index of the
+   instruction currently (or next) being dispatched, so trap provenance
+   and snapshot/resume both read it directly. While a callee runs, the
+   caller's [pc] stays parked on its DCall — return write-back and the
+   post-call resume point are recovered from it. *)
+type frame = {
+  fid : int;
+  mutable pc : int;
+  iregs : int array;
+  fregs : float array;
+}
+
+type status =
+  | Running
+  | Done_ of Value.t option
+  | Trapped_ of Trap.t * (int * int) option  (* trap, (fid, pc) site *)
+  | Timeout_
+
+type machine = {
+  code : Code.t;
+  memory : Memory.t;
+  budget : int;
+  count_exec : bool;
+  exec_counts : int array array;
+  all_tags : bool array array;
+  has_injection : bool;
+  plan_ords : int array;
+  plan_bits : int array;
+  mutable cursor : int;
+  mutable next_planned : int;  (* smallest pending ordinal, max_int when done *)
+  mutable dyn : int;
+  mutable inj_seen : int;
+  mutable landed : int;
+  mutable stack : frame list;  (* innermost frame first; never empty while Running *)
+  mutable depth : int;         (* depth of the head frame; entry frame is 0 *)
+  mutable status : status;
+}
+
+let fresh_frame (code : Code.t) fid =
+  let df = code.Code.funcs.(fid) in
+  {
+    fid;
+    pc = 0;
+    iregs = Array.make (max df.Code.n_int 1) 0;
+    fregs = Array.make (max df.Code.n_flt 1) 0.0;
+  }
+
+let machine ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
+    ?memory (code : Code.t) : machine =
+  let memory =
+    match memory with
+    | Some mem -> mem
+    | None -> Memory.of_prog ?lenient code.Code.prog
+  in
+  (* Per-function execution counters are only materialized when
+     requested: campaigns run hundreds of trials per prepared target
+     and none of them profiles. *)
+  let exec_counts =
+    if count_exec then
+      Array.map
+        (fun (df : Code.dfunc) -> Array.make (Array.length df.Code.dbody) 0)
+        code.Code.funcs
+    else [||]
+  in
+  let plan_ords, plan_bits =
+    match (injection : injection option) with
+    | Some { plan_ords; plan_bits; _ } -> (plan_ords, plan_bits)
+    | None -> (no_counts, no_counts)
+  in
+  let all_tags =
+    match (injection : injection option) with
+    | Some { tags; _ } -> tags
+    | None -> [||]
+  in
+  {
+    code;
+    memory;
+    budget;
+    count_exec;
+    exec_counts;
+    all_tags;
+    has_injection = Array.length all_tags > 0;
+    plan_ords;
+    plan_bits;
+    cursor = 0;
+    next_planned =
+      (if Array.length plan_ords > 0 then plan_ords.(0) else max_int);
+    dyn = 0;
+    inj_seen = 0;
+    landed = 0;
+    stack = [ fresh_frame code code.Code.entry_fid ];
+    depth = 0;
+    status = Running;
+  }
+
+let advance_plan m =
+  let c = m.cursor + 1 in
+  m.cursor <- c;
+  m.next_planned <-
+    (if c < Array.length m.plan_ords then Array.unsafe_get m.plan_ords c
+     else max_int);
+  m.landed <- m.landed + 1;
+  Array.unsafe_get m.plan_bits (c - 1)
+
+(* Fault hooks: called with the body index of the defining instruction
+   and the freshly computed value, on every value-producing write-back
+   (including call-return write-back, attributed to the DCall). *)
+let inject_i m ftags pc v =
+  if m.has_injection && Array.unsafe_get ftags pc then begin
+    let ord = m.inj_seen in
+    m.inj_seen <- ord + 1;
+    if ord = m.next_planned then
+      Value.flip_int ~bit:(advance_plan m land 31) v
+    else v
+  end
+  else v
+
+let inject_f m ftags pc x =
+  if m.has_injection && Array.unsafe_get ftags pc then begin
+    let ord = m.inj_seen in
+    m.inj_seen <- ord + 1;
+    if ord = m.next_planned then
+      Value.flip_float ~bit:(advance_plan m land 63) x
+    else x
+  end
+  else x
+
+(* Pop the head frame and deliver [v] to its caller (or halt when it
+   was the entry frame). Return write-back runs the injection hook at
+   the caller's DCall, exactly where the recursive interpreter ran it,
+   then steps the caller past the call. *)
+let return m (v : Value.t option) =
+  match m.stack with
+  | [] -> assert false
+  | [ _ ] -> m.status <- Done_ v
+  | _ :: (caller :: _ as rest) ->
+    m.stack <- rest;
+    m.depth <- m.depth - 1;
+    let df = m.code.Code.funcs.(caller.fid) in
+    (match df.Code.dbody.(caller.pc) with
+     | Code.DCall c ->
+       (if c.Code.dst >= 0 then
+          let ftags =
+            if m.has_injection then m.all_tags.(caller.fid) else no_tags
+          in
+          match v with
+          | Some (Value.I x) when not c.Code.dst_flt ->
+            caller.iregs.(c.Code.dst) <- inject_i m ftags caller.pc x
+          | Some (Value.F x) when c.Code.dst_flt ->
+            caller.fregs.(c.Code.dst) <- inject_f m ftags caller.pc x
+          | _ -> invalid_arg "return bank mismatch at runtime");
+       caller.pc <- caller.pc + 1
+     | _ -> assert false)
+
+exception Pause_exn
+
+let is_running m = match m.status with Running -> true | _ -> false
+
+(* The dispatch loop. Executes until the machine halts, or pauses as
+   soon as [pause_at] injectable ordinals have been seen — the pause
+   check sits at the top of dispatch and ordinals advance by at most
+   one per dispatched instruction, so a pause lands exactly at ordinal
+   [pause_at] (before any ordinal >= pause_at is consumed).
+
+   The outer loop re-caches per-frame state (body, registers, tag row,
+   counter row) whenever a call or return switches the head frame; the
+   inner [loop] is a tail-recursive hot path over one frame. *)
+let exec m ~pause_at =
+  let funcs = m.code.Code.funcs in
+  let memory = m.memory in
+  while is_running m do
+    let fr = match m.stack with fr :: _ -> fr | [] -> assert false in
+    let df = Array.unsafe_get funcs fr.fid in
+    let body = df.Code.dbody in
+    let len = Array.length body in
+    let iregs = fr.iregs and fregs = fr.fregs in
+    let counts = if m.count_exec then m.exec_counts.(fr.fid) else no_counts in
+    let ftags = if m.has_injection then m.all_tags.(fr.fid) else no_tags in
+    (* Returns unit when the head frame changed (call or return) or the
+       machine halted; the outer loop then re-enters. *)
+    let rec loop pc =
+      fr.pc <- pc;
+      if m.inj_seen >= pause_at then raise Pause_exn;
+      if pc >= len then
+        (* The validator guarantees terminators, so this is only
+           reachable through interpreter bugs; fail loudly. *)
+        invalid_arg (Printf.sprintf "pc past end of %s" df.Code.name);
+      let d = Array.unsafe_get body pc in
+      (match d with
+       | Code.DNop -> ()
+       | _ ->
+         m.dyn <- m.dyn + 1;
+         if m.dyn > m.budget then raise Timeout_exn;
+         if m.count_exec then counts.(pc) <- counts.(pc) + 1);
+      match d with
+      | Code.DNop -> loop (pc + 1)
+      | Code.DLi (d, v) ->
+        iregs.(d) <- inject_i m ftags pc v;
+        loop (pc + 1)
+      | Code.DLf (d, x) ->
+        fregs.(d) <- inject_f m ftags pc x;
+        loop (pc + 1)
+      | Code.DLa (d, addr) ->
+        iregs.(d) <- inject_i m ftags pc addr;
+        loop (pc + 1)
+      | Code.DMovI (d, s) ->
+        iregs.(d) <- inject_i m ftags pc iregs.(s);
+        loop (pc + 1)
+      | Code.DMovF (d, s) ->
+        fregs.(d) <- inject_f m ftags pc fregs.(s);
+        loop (pc + 1)
+      | Code.DBin (op, d, a, b) ->
+        iregs.(d) <- inject_i m ftags pc (binop_i op iregs.(a) iregs.(b));
+        loop (pc + 1)
+      | Code.DBini (op, d, a, n) ->
+        iregs.(d) <- inject_i m ftags pc (binop_i op iregs.(a) n);
+        loop (pc + 1)
+      | Code.DCmp (op, d, a, b) ->
+        iregs.(d) <-
+          inject_i m ftags pc (if cmp_i op iregs.(a) iregs.(b) then 1 else 0);
+        loop (pc + 1)
+      | Code.DFbin (op, d, a, b) ->
+        fregs.(d) <- inject_f m ftags pc (binop_f op fregs.(a) fregs.(b));
+        loop (pc + 1)
+      | Code.DFun (op, d, s) ->
+        fregs.(d) <- inject_f m ftags pc (unop_f op fregs.(s));
+        loop (pc + 1)
+      | Code.DFcmp (op, d, a, b) ->
+        iregs.(d) <-
+          inject_i m ftags pc (if cmp_f op fregs.(a) fregs.(b) then 1 else 0);
+        loop (pc + 1)
+      | Code.DI2f (d, s) ->
+        fregs.(d) <- inject_f m ftags pc (float_of_int iregs.(s));
+        loop (pc + 1)
+      | Code.DF2i (d, s) ->
+        iregs.(d) <- inject_i m ftags pc (f2i fregs.(s));
+        loop (pc + 1)
+      | Code.DLw (d, b, o) ->
+        iregs.(d) <- inject_i m ftags pc (Memory.load_int memory (iregs.(b) + o));
+        loop (pc + 1)
+      | Code.DSw (v, b, o) ->
+        Memory.store_int memory (iregs.(b) + o) iregs.(v);
+        loop (pc + 1)
+      | Code.DLb (d, b, o) ->
+        iregs.(d) <-
+          inject_i m ftags pc (Memory.load_byte memory (iregs.(b) + o));
+        loop (pc + 1)
+      | Code.DSb (v, b, o) ->
+        Memory.store_byte memory (iregs.(b) + o) iregs.(v);
+        loop (pc + 1)
+      | Code.DLwf (d, b, o) ->
+        fregs.(d) <- inject_f m ftags pc (Memory.load_flt memory (iregs.(b) + o));
+        loop (pc + 1)
+      | Code.DSwf (v, b, o) ->
+        Memory.store_flt memory (iregs.(b) + o) fregs.(v);
+        loop (pc + 1)
+      | Code.DBr (op, a, b, target) ->
+        if cmp_i op iregs.(a) iregs.(b) then loop target else loop (pc + 1)
+      | Code.DBrz (op, a, target) ->
+        if cmp_i op iregs.(a) 0 then loop target else loop (pc + 1)
+      | Code.DJmp target -> loop target
+      | Code.DCall c ->
+        (* Depth check before the push: the overflow is attributed to
+           this call site (the head frame's pc is parked here), with
+           the callee's would-be depth as payload — same as the
+           recursive interpreter's entry check seen from its caller. *)
+        let callee_depth = m.depth + 1 in
+        if callee_depth > max_call_depth then
+          raise (Trap.Error (Trap.Call_stack_overflow callee_depth));
+        let nf = fresh_frame m.code c.Code.fid in
+        Array.iter
+          (fun (src, dst) -> nf.iregs.(dst) <- iregs.(src))
+          c.Code.iargs;
+        Array.iter
+          (fun (src, dst) -> nf.fregs.(dst) <- fregs.(src))
+          c.Code.fargs;
+        m.depth <- callee_depth;
+        m.stack <- nf :: m.stack
+        (* head frame changed: fall out to the outer loop *)
+      | Code.DRetI r -> return m (Some (Value.I iregs.(r)))
+      | Code.DRetF r -> return m (Some (Value.F fregs.(r)))
+      | Code.DRetV -> return m None
+    in
+    loop fr.pc
+  done
+
+let advance m ~pause_at : [ `Paused | `Halted ] =
+  match m.status with
+  | Running -> (
+    try
+      exec m ~pause_at;
+      `Halted
+    with
+    | Pause_exn -> `Paused
+    | Trap.Error t ->
+      (* The head frame's pc is synced at every dispatch, so it points
+         at the trapping instruction; traps raised inside a callee are
+         attributed innermost (the callee is the head frame). *)
+      let site =
+        match m.stack with fr :: _ -> Some (fr.fid, fr.pc) | [] -> None
+      in
+      m.status <- Trapped_ (t, site);
+      `Halted
+    | Timeout_exn ->
+      m.status <- Timeout_;
+      `Halted)
+  | _ -> `Halted
+
+let finish m : result =
+  (match advance m ~pause_at:max_int with
+   | `Halted -> ()
+   | `Paused -> assert false);
+  let outcome, trap_site =
+    match m.status with
+    | Running -> assert false
+    | Done_ v -> (Done v, None)
+    | Timeout_ -> (Timeout, None)
+    | Trapped_ (t, site) ->
+      ( Trapped t,
+        match site with
+        | Some (fid, pc) -> Some (m.code.Code.funcs.(fid).Code.name, pc)
+        | None -> None )
+  in
+  {
+    outcome;
+    dyn_count = m.dyn;
+    injectable_seen = m.inj_seen;
+    faults_landed = m.landed;
+    memory = m.memory;
+    exec_counts = m.exec_counts;
+    trap_site;
+    fault_flow = None;
+  }
+
+(* --------------------------- snapshots --------------------------- *)
+
+(* An immutable copy of a paused machine's full architectural state.
+   Snapshots are taken during a fault-free pass (no landed faults, no
+   partially consumed plan), so they carry no plan bookkeeping: resume
+   installs a fresh plan whose ordinals must all lie at or after the
+   snapshot's ordinal. Restore copies everything mutable, so one
+   snapshot can seed any number of trials concurrently — including
+   read-only sharing across domains. *)
+type snapshot = {
+  s_code : Code.t;
+  s_budget : int;
+  s_memory : Memory.t;
+  s_frames : frame array;  (* innermost first, like the live stack *)
+  s_depth : int;
+  s_dyn : int;
+  s_inj_seen : int;
+}
+
+let copy_frame fr =
+  { fr with iregs = Array.copy fr.iregs; fregs = Array.copy fr.fregs }
+
+let capture m : snapshot =
+  (match m.status with
+   | Running -> ()
+   | _ -> invalid_arg "Interp.capture: machine has halted");
+  if m.count_exec then
+    invalid_arg "Interp.capture: profiling machines are not snapshotable";
+  if m.landed > 0 then
+    invalid_arg "Interp.capture: snapshots must be fault-free";
+  {
+    s_code = m.code;
+    s_budget = m.budget;
+    s_memory = Memory.copy m.memory;
+    s_frames = Array.of_list (List.map copy_frame m.stack);
+    s_depth = m.depth;
+    s_dyn = m.dyn;
+    s_inj_seen = m.inj_seen;
+  }
+
+let snapshot_ordinal s = s.s_inj_seen
+let snapshot_dyn s = s.s_dyn
+
+let resume ?injection (s : snapshot) : machine =
+  let plan_ords, plan_bits =
+    match (injection : injection option) with
+    | Some { plan_ords; plan_bits; _ } -> (plan_ords, plan_bits)
+    | None -> (no_counts, no_counts)
+  in
+  if Array.length plan_ords > 0 && plan_ords.(0) < s.s_inj_seen then
+    invalid_arg "Interp.resume: plan ordinal precedes snapshot";
+  let all_tags =
+    match (injection : injection option) with
+    | Some { tags; _ } -> tags
+    | None -> [||]
+  in
+  {
+    code = s.s_code;
+    memory = Memory.copy s.s_memory;
+    budget = s.s_budget;
+    count_exec = false;
+    exec_counts = [||];
+    all_tags;
+    has_injection = Array.length all_tags > 0;
+    plan_ords;
+    plan_bits;
+    cursor = 0;
+    next_planned =
+      (if Array.length plan_ords > 0 then plan_ords.(0) else max_int);
+    dyn = s.s_dyn;
+    inj_seen = s.s_inj_seen;
+    landed = 0;
+    stack = Array.to_list (Array.map copy_frame s.s_frames);
+    depth = s.s_depth;
+    status = Running;
+  }
+
+(* ------------------------- taint twin run ------------------------- *)
 
 (* Taint mode is a second, fully separate interpreter loop ([call_t]
    below) rather than hooks in the plain one: the plain loop is the
@@ -124,10 +555,16 @@ let no_counts : int array = [||]
    bookkeeping), execute instructions in the same order and call the
    injection hook at the same write-back points, so ordinals — and
    therefore where a plan's faults land — are identical in both modes;
-   test_taint pins that equivalence with a property test. *)
-let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
-    ?(taint = false) (code : Code.t) : result =
-  let memory = Memory.of_prog ?lenient code.Code.prog in
+   test_taint pins that equivalence with a property test. It stays
+   host-stack recursive (per-frame shadow state lives in the recursion)
+   and is therefore not snapshotable: audit trials run from scratch. *)
+let run_taint ?injection ?lenient ~budget ~count_exec ?memory (code : Code.t) :
+    result =
+  let memory =
+    match memory with
+    | Some mem -> mem
+    | None -> Memory.of_prog ?lenient code.Code.prog
+  in
   let dyn = ref 0 in
   let inj_seen = ref 0 in
   let landed = ref 0 in
@@ -144,9 +581,6 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     end;
     raise e
   in
-  (* Per-function execution counters are only materialized when
-     requested: campaigns run hundreds of trials per prepared target
-     and none of them profiles. *)
   let exec_counts =
     if count_exec then
       Array.map
@@ -154,11 +588,8 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
         code.Code.funcs
     else [||]
   in
-  (* Sorted plan + monotone cursor. [next_planned] is the smallest
-     not-yet-reached planned ordinal (max_int when exhausted), so the
-     hot path pays one compare per injectable execution. *)
   let plan_ords, plan_bits =
-    match injection with
+    match (injection : injection option) with
     | Some { plan_ords; plan_bits; _ } -> (plan_ords, plan_bits)
     | None -> (no_counts, no_counts)
   in
@@ -173,171 +604,13 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     incr landed;
     Array.unsafe_get plan_bits (c - 1)
   in
-  (* [has_injection] is hoisted out of the hot path: with no injection
-     the per-instruction hook is a single immutable-bool test instead
-     of an option dereference per executed definition. *)
-  let all_tags = match injection with Some { tags; _ } -> tags | None -> [||] in
+  let all_tags =
+    match (injection : injection option) with
+    | Some { tags; _ } -> tags
+    | None -> [||]
+  in
   let has_injection = Array.length all_tags > 0 in
-  let rec call depth fid set_args : Value.t option =
-    if depth > max_call_depth then
-      raise (Trap.Error (Trap.Call_stack_overflow depth));
-    let df = code.Code.funcs.(fid) in
-    let iregs = Array.make (max df.Code.n_int 1) 0 in
-    let fregs = Array.make (max df.Code.n_flt 1) 0.0 in
-    set_args iregs fregs;
-    let body = df.Code.dbody in
-    let len = Array.length body in
-    let counts = if count_exec then exec_counts.(fid) else no_counts in
-    let ftags = if has_injection then all_tags.(fid) else [||] in
-    (* Fault hook: called with the body index of the defining
-       instruction and the freshly computed value. *)
-    let inject_i pc v =
-      if has_injection && Array.unsafe_get ftags pc then begin
-        let ord = !inj_seen in
-        incr inj_seen;
-        if ord = !next_planned then
-          Value.flip_int ~bit:(advance_plan () land 31) v
-        else v
-      end
-      else v
-    in
-    let inject_f pc x =
-      if has_injection && Array.unsafe_get ftags pc then begin
-        let ord = !inj_seen in
-        incr inj_seen;
-        if ord = !next_planned then
-          Value.flip_float ~bit:(advance_plan () land 63) x
-        else x
-      end
-      else x
-    in
-    let rec loop pc : Value.t option =
-      if pc >= len then
-        (* The validator guarantees terminators, so this is only
-           reachable through interpreter bugs; fail loudly. *)
-        invalid_arg (Printf.sprintf "pc past end of %s" df.Code.name);
-      let d = Array.unsafe_get body pc in
-      (match d with
-       | Code.DNop -> ()
-       | _ ->
-         incr dyn;
-         if !dyn > budget then raise Timeout_exn;
-         if count_exec then counts.(pc) <- counts.(pc) + 1);
-      match d with
-      | Code.DNop -> loop (pc + 1)
-      | Code.DLi (d, v) ->
-        iregs.(d) <- inject_i pc v;
-        loop (pc + 1)
-      | Code.DLf (d, x) ->
-        fregs.(d) <- inject_f pc x;
-        loop (pc + 1)
-      | Code.DLa (d, addr) ->
-        iregs.(d) <- inject_i pc addr;
-        loop (pc + 1)
-      | Code.DMovI (d, s) ->
-        iregs.(d) <- inject_i pc iregs.(s);
-        loop (pc + 1)
-      | Code.DMovF (d, s) ->
-        fregs.(d) <- inject_f pc fregs.(s);
-        loop (pc + 1)
-      | Code.DBin (op, d, a, b) ->
-        iregs.(d) <-
-          inject_i pc
-            (try binop_i op iregs.(a) iregs.(b)
-             with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DBini (op, d, a, n) ->
-        iregs.(d) <-
-          inject_i pc
-            (try binop_i op iregs.(a) n
-             with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DCmp (op, d, a, b) ->
-        iregs.(d) <- inject_i pc (if cmp_i op iregs.(a) iregs.(b) then 1 else 0);
-        loop (pc + 1)
-      | Code.DFbin (op, d, a, b) ->
-        fregs.(d) <- inject_f pc (binop_f op fregs.(a) fregs.(b));
-        loop (pc + 1)
-      | Code.DFun (op, d, s) ->
-        fregs.(d) <- inject_f pc (unop_f op fregs.(s));
-        loop (pc + 1)
-      | Code.DFcmp (op, d, a, b) ->
-        iregs.(d) <- inject_i pc (if cmp_f op fregs.(a) fregs.(b) then 1 else 0);
-        loop (pc + 1)
-      | Code.DI2f (d, s) ->
-        fregs.(d) <- inject_f pc (float_of_int iregs.(s));
-        loop (pc + 1)
-      | Code.DF2i (d, s) ->
-        iregs.(d) <-
-          inject_i pc
-            (try f2i fregs.(s) with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DLw (d, b, o) ->
-        iregs.(d) <-
-          inject_i pc
-            (try Memory.load_int memory (iregs.(b) + o)
-             with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DSw (v, b, o) ->
-        (try Memory.store_int memory (iregs.(b) + o) iregs.(v)
-         with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DLb (d, b, o) ->
-        iregs.(d) <-
-          inject_i pc
-            (try Memory.load_byte memory (iregs.(b) + o)
-             with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DSb (v, b, o) ->
-        (try Memory.store_byte memory (iregs.(b) + o) iregs.(v)
-         with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DLwf (d, b, o) ->
-        fregs.(d) <-
-          inject_f pc
-            (try Memory.load_flt memory (iregs.(b) + o)
-             with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DSwf (v, b, o) ->
-        (try Memory.store_flt memory (iregs.(b) + o) fregs.(v)
-         with Trap.Error _ as e -> trap_at fid pc e);
-        loop (pc + 1)
-      | Code.DBr (op, a, b, target) ->
-        if cmp_i op iregs.(a) iregs.(b) then loop target else loop (pc + 1)
-      | Code.DBrz (op, a, target) ->
-        if cmp_i op iregs.(a) 0 then loop target else loop (pc + 1)
-      | Code.DJmp target -> loop target
-      | Code.DCall c ->
-        let set callee_i callee_f =
-          Array.iter (fun (src, dst) -> callee_i.(dst) <- iregs.(src)) c.Code.iargs;
-          Array.iter (fun (src, dst) -> callee_f.(dst) <- fregs.(src)) c.Code.fargs
-        in
-        (* Traps inside the callee are located by the callee's own
-           arms; [trap_at]'s write-once rule leaves those intact and
-           attributes only callee-entry traps (stack overflow) to this
-           call site. *)
-        let ret =
-          try call (depth + 1) c.Code.fid set
-          with Trap.Error _ as e -> trap_at fid pc e
-        in
-        (if c.Code.dst >= 0 then
-           match ret with
-           | Some (Value.I v) when not c.Code.dst_flt ->
-             iregs.(c.Code.dst) <- inject_i pc v
-           | Some (Value.F x) when c.Code.dst_flt ->
-             fregs.(c.Code.dst) <- inject_f pc x
-           | _ -> invalid_arg "return bank mismatch at runtime");
-        loop (pc + 1)
-      | Code.DRetI r -> Some (Value.I iregs.(r))
-      | Code.DRetF r -> Some (Value.F fregs.(r))
-      | Code.DRetV -> None
-    in
-    loop 0
-  in
-  (* ---------------- taint-instrumented twin of [call] ---------------- *)
-  let tr =
-    Taint.make ~cells:(if taint then Memory.size_bytes memory / 4 else 0)
-  in
+  let tr = Taint.make ~cells:(Memory.size_bytes memory / 4) in
   (* Returns the function's result together with the taint of the
      returned value, so contamination survives call boundaries. *)
   let rec call_t depth fid set_args : Value.t option * Taint.mask =
@@ -563,32 +836,21 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     loop 0
   in
   let outcome =
-    if taint then (
-      try
-        let ret, rt = call_t 0 code.Code.entry_fid (fun _ _ _ _ -> ()) in
-        (* A tainted entry return value is program output contamination
-           even though no frame survives to hold it. *)
-        Taint.propagate tr rt;
-        Done ret
-      with
-      | Trap.Error t -> Trapped t
-      | Timeout_exn -> Timeout)
-    else
-      try Done (call 0 code.Code.entry_fid (fun _ _ -> ())) with
-      | Trap.Error t -> Trapped t
-      | Timeout_exn -> Timeout
+    try
+      let ret, rt = call_t 0 code.Code.entry_fid (fun _ _ _ _ -> ()) in
+      (* A tainted entry return value is program output contamination
+         even though no frame survives to hold it. *)
+      Taint.propagate tr rt;
+      Done ret
+    with
+    | Trap.Error t -> Trapped t
+    | Timeout_exn -> Timeout
   in
   let trap_site =
     match outcome with
     | Trapped _ when !trap_fid >= 0 ->
       Some (code.Code.funcs.(!trap_fid).Code.name, !trap_pc)
     | _ -> None
-  in
-  let fault_flow =
-    if taint then
-      Some
-        (Taint.summarize tr ~func_name:(fun f -> code.Code.funcs.(f).Code.name))
-    else None
   in
   {
     outcome;
@@ -598,8 +860,15 @@ let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     memory;
     exec_counts;
     trap_site;
-    fault_flow;
+    fault_flow =
+      Some
+        (Taint.summarize tr ~func_name:(fun f -> code.Code.funcs.(f).Code.name));
   }
+
+let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
+    ?(taint = false) ?memory (code : Code.t) : result =
+  if taint then run_taint ?injection ?lenient ~budget ~count_exec ?memory code
+  else finish (machine ?injection ?lenient ~budget ~count_exec ?memory code)
 
 (* Fault-free execution, trusting the program: raises on trap/timeout. *)
 let run_exn ?lenient ?budget ?count_exec code =

@@ -53,12 +53,75 @@ exception Timeout_exn
 
 val max_call_depth : int
 
+(** {1 Explicit machine}
+
+    The plain interpreter is an explicit machine — a frame stack plus
+    the dynamic counters — so execution can pause at any
+    injectable-ordinal boundary, be captured into an immutable
+    {!snapshot}, and resume later. This is the substrate of
+    checkpointed fork-from-prefix campaigns (see [Sim.Snapshot] and
+    [Core.Campaign]). *)
+
+type machine
+(** A paused or running execution. Mutable; single-owner. *)
+
+val machine :
+  ?injection:injection ->
+  ?lenient:bool ->
+  ?budget:int ->
+  ?count_exec:bool ->
+  ?memory:Memory.t ->
+  Code.t ->
+  machine
+(** A fresh machine at the entry function, same defaults as {!run}.
+    [memory] supplies a pre-built image (ownership transfers to the
+    machine; [lenient] is then ignored — the image carries its own
+    access model) instead of laying one out from the program's
+    globals. *)
+
+val advance : machine -> pause_at:int -> [ `Halted | `Paused ]
+(** Execute until the machine halts, or pause as soon as [pause_at]
+    injectable ordinals have been seen. Ordinals advance by at most one
+    per dispatched instruction and the pause check precedes dispatch,
+    so a pause lands exactly at ordinal [pause_at], before any ordinal
+    [>= pause_at] is consumed. Calling {!advance} on a halted machine
+    returns [`Halted] and does nothing. *)
+
+val finish : machine -> result
+(** Run to completion ([advance ~pause_at:max_int]) and package the
+    result. [fault_flow] is always [None] on this path. *)
+
+type snapshot
+(** An immutable copy of a paused machine's full architectural state
+    (memory image, frame stack, counters). One snapshot can seed any
+    number of {!resume}d trials, concurrently across domains — restore
+    copies everything mutable. *)
+
+val capture : machine -> snapshot
+(** Snapshot a paused machine. Raises [Invalid_argument] if the
+    machine has halted, was created with [count_exec], or has already
+    landed a fault — snapshots are taken on fault-free (golden)
+    passes only. *)
+
+val resume : ?injection:injection -> snapshot -> machine
+(** A fresh machine restored from the snapshot, with a new plan.
+    Raises [Invalid_argument] if the plan's first ordinal precedes the
+    snapshot's ordinal (that fault could never land). *)
+
+val snapshot_ordinal : snapshot -> int
+(** Injectable ordinal at which the snapshot was taken. *)
+
+val snapshot_dyn : snapshot -> int
+(** Dynamic instructions executed up to the snapshot — the work a
+    resumed trial skips. *)
+
 val run :
   ?injection:injection ->
   ?lenient:bool ->
   ?budget:int ->
   ?count_exec:bool ->
   ?taint:bool ->
+  ?memory:Memory.t ->
   Code.t ->
   result
 (** Execute from the entry function. [budget] defaults to 10^8 dynamic
@@ -66,7 +129,8 @@ val run :
     [taint] (default off) runs the shadow-taint twin of the
     interpreter: identical architectural behaviour and fault landings,
     plus a {!Taint.summary} in [fault_flow]. The plain path pays
-    nothing for the feature — taint mode is a separate loop. *)
+    nothing for the feature — taint mode is a separate (host-stack
+    recursive, non-snapshotable) loop. [memory] as in {!machine}. *)
 
 val run_exn :
   ?lenient:bool -> ?budget:int -> ?count_exec:bool -> Code.t -> result

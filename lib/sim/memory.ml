@@ -40,6 +40,19 @@ let create ?(lenient = false) ~cells () =
     lenient;
   }
 
+(* Deep copy: fresh cell arrays, same model. This is the restore
+   primitive of checkpointed execution — a snapshot keeps one immutable
+   image and every trial that resumes from it blit-copies the whole
+   thing, which is a handful of memcpys instead of replaying the
+   global-initialization walk of [of_prog]. *)
+let copy t =
+  {
+    t with
+    ints = Array.copy t.ints;
+    flts = Array.copy t.flts;
+    kind = Bytes.copy t.kind;
+  }
+
 let size_bytes t = t.size_bytes
 let is_lenient t = t.lenient
 
@@ -147,12 +160,17 @@ let peek t addr : Value.t option =
 
 let of_prog ?lenient (prog : Ir.Prog.t) =
   let entries, total_bytes = Ir.Prog.layout prog in
+  (* Name -> address table: one pass over the layout instead of a
+     [List.find_opt] per global (quadratic in the global count, and
+     [of_prog] used to run once per trial before prototype images). *)
+  let addr_of = Hashtbl.create (List.length entries) in
+  List.iter (fun (n, a, _) -> Hashtbl.replace addr_of n a) entries;
   let t = create ?lenient ~cells:(total_bytes / 4) () in
   List.iter
     (fun (g : Ir.Prog.global) ->
       let addr =
-        match List.find_opt (fun (n, _, _) -> n = g.Ir.Prog.gname) entries with
-        | Some (_, a, _) -> a
+        match Hashtbl.find_opt addr_of g.Ir.Prog.gname with
+        | Some a -> a
         | None -> assert false
       in
       let base_cell = addr / 4 in

@@ -16,6 +16,11 @@ val create : ?lenient:bool -> cells:int -> unit -> t
 val size_bytes : t -> int
 val is_lenient : t -> bool
 
+val copy : t -> t
+(** Deep copy (fresh cell arrays, same access model). The restore
+    primitive of checkpointed execution: copying a prototype or
+    snapshot image replaces replaying {!of_prog}'s initialization. *)
+
 val load_int : t -> int -> int
 val load_flt : t -> int -> float
 val store_int : t -> int -> int -> unit

@@ -1,0 +1,62 @@
+(* Golden checkpoint sequence for fork-from-prefix campaigns.
+
+   One fault-free pass over the program (with the tagging mask
+   installed so injectable ordinals are counted) captures an immutable
+   [Interp.snapshot] every [stride] injectable ordinals, plus the
+   initial state at ordinal 0. A trial whose first planned fault lands
+   at ordinal [o] then resumes from checkpoint [o / stride] instead of
+   re-executing the whole fault-free prefix — exact, because the
+   snapshot carries the complete architectural state and the fault-free
+   prefix is identical across all trials of a prepared target.
+
+   Checkpoint [k] sits exactly at ordinal [k * stride]
+   ([Interp.advance]'s pause guarantee), so lookup is pure
+   arithmetic. *)
+
+type t = {
+  stride : int;
+  checkpoints : Interp.snapshot array;
+      (* checkpoints.(k) at injectable ordinal k * stride; index 0 is
+         the initial state. The last entry may sit short of the final
+         ordinal when the run ends between strides. *)
+}
+
+let stride t = t.stride
+let count t = Array.length t.checkpoints
+
+(* Stride choice trades golden-pass memory against skipped prefix
+   length: aim for up to [max_checkpoints] evenly spaced snapshots, but
+   never hold more than ~[mem_budget] of memory images. Programs small
+   in either dimension get the full 64 checkpoints; a huge image backs
+   off to fewer, coarser ones. *)
+let max_checkpoints = 64
+let mem_budget = 64 * 1024 * 1024
+
+let auto_stride ~injectable_total ~image_bytes =
+  let by_mem = max 1 (mem_budget / max 1 image_bytes) in
+  let n = max 1 (min max_checkpoints by_mem) in
+  max 1 ((injectable_total + n - 1) / n)
+
+let build ~stride ~tags ?lenient ?budget ?memory code : t =
+  if stride <= 0 then invalid_arg "Snapshot.build: stride must be positive";
+  (* Empty plan: the injection only installs the tag mask, so ordinals
+     advance exactly as they will in every trial, and no fault fires. *)
+  let injection = Interp.injection ~tags ~plan:[] in
+  let m = Interp.machine ~injection ?lenient ?budget ?memory code in
+  let acc = ref [ Interp.capture m ] in
+  let k = ref 1 in
+  let rec go () =
+    match Interp.advance m ~pause_at:(!k * stride) with
+    | `Paused ->
+      acc := Interp.capture m :: !acc;
+      incr k;
+      go ()
+    | `Halted -> ()
+  in
+  go ();
+  { stride; checkpoints = Array.of_list (List.rev !acc) }
+
+let nearest t ~ordinal =
+  if ordinal < 0 then invalid_arg "Snapshot.nearest: negative ordinal";
+  let k = min (ordinal / t.stride) (Array.length t.checkpoints - 1) in
+  t.checkpoints.(k)

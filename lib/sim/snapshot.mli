@@ -1,0 +1,43 @@
+(** Golden checkpoint sequence for fork-from-prefix campaigns.
+
+    A single fault-free pass (the {e golden} pass) records immutable
+    {!Interp.snapshot}s every [stride] injectable ordinals. Trials
+    whose first planned fault lands at ordinal [o] resume from the
+    nearest checkpoint at or before [o] instead of re-executing the
+    fault-free prefix — bit-exact for any stride, because the prefix is
+    identical across all trials of a prepared target. Checkpoints are
+    immutable after the build and safe to share read-only across
+    domains ({!Interp.resume} copies all mutable state). *)
+
+type t
+
+val build :
+  stride:int ->
+  tags:bool array array ->
+  ?lenient:bool ->
+  ?budget:int ->
+  ?memory:Memory.t ->
+  Code.t ->
+  t
+(** Run the golden pass with the given tagging mask (empty plan — the
+    mask only makes ordinals advance as they will in trials) and
+    capture a checkpoint every [stride] ordinals, plus the initial
+    state at ordinal 0. Raises [Invalid_argument] if [stride <= 0];
+    propagates traps or {!Interp.Timeout_exn} if the fault-free run
+    itself fails ([Campaign] targets are validated by their baseline
+    first). [memory]/[lenient] as in {!Interp.machine}. *)
+
+val auto_stride : injectable_total:int -> image_bytes:int -> int
+(** Stride giving up to 64 evenly spaced checkpoints, backed off so the
+    retained memory images stay within ~64 MiB. Always [>= 1]. *)
+
+val nearest : t -> ordinal:int -> Interp.snapshot
+(** The checkpoint at the largest multiple of [stride] at or below
+    [ordinal] (clamped to the last one recorded). [ordinal] may exceed
+    the run's total — e.g. [max_int] for an empty plan — and still
+    resolves to the last checkpoint. Raises on negative [ordinal]. *)
+
+val stride : t -> int
+
+val count : t -> int
+(** Number of checkpoints recorded (including ordinal 0). *)

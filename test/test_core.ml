@@ -471,21 +471,28 @@ let test_policy_seed_tag_frozen () =
   Alcotest.(check int) "protect-all" 648017920
     (Core.Policy.seed_tag Core.Policy.Protect_all)
 
-(* prepare's profiling memo: same mask -> shared pool count, and the
-   memo keys on mask content, so distinct policies with identical
-   masks hit the cache. *)
-let test_prepare_memoizes_profiling () =
+(* prepare sizes the injectable pool arithmetically from the baseline's
+   exec counts; pin that against an actual profiling interpretation
+   (empty plan under the same mask, counting hook firings), which is
+   what the pool used to be measured by. *)
+let test_prepare_pool_arithmetic () =
   let prog = Mlang.Compile.to_ir gcd_mlang in
   let target = Core.Campaign.of_prog prog in
-  let p1 = Core.Campaign.prepare target Core.Policy.Protect_control in
-  let p2 = Core.Campaign.prepare target Core.Policy.Protect_control in
-  Alcotest.(check int) "same pool" p1.Core.Campaign.injectable_total
-    p2.Core.Campaign.injectable_total;
-  Alcotest.(check int) "one memo entry per distinct mask" 1
-    (Hashtbl.length target.Core.Campaign.profile_memo);
-  ignore (Core.Campaign.prepare target Core.Policy.Protect_nothing);
-  Alcotest.(check int) "second mask, second entry" 2
-    (Hashtbl.length target.Core.Campaign.profile_memo)
+  List.iter
+    (fun policy ->
+      let p = Core.Campaign.prepare target policy in
+      let injection =
+        Core.Fault_model.profiling_injection ~tags:p.Core.Campaign.tags
+      in
+      let r = Sim.Interp.run ~injection target.Core.Campaign.code in
+      Alcotest.(check int)
+        ("arithmetic pool = profiled pool: " ^ Core.Policy.to_string policy)
+        r.Sim.Interp.injectable_seen p.Core.Campaign.injectable_total)
+    [
+      Core.Policy.Protect_control;
+      Core.Policy.Protect_nothing;
+      Core.Policy.Protect_all;
+    ]
 
 let test_outcome_classification () =
   Alcotest.(check bool) "crash catastrophic" true
@@ -541,8 +548,8 @@ let () =
             test_campaign_cap_reported;
           Alcotest.test_case "policy seed tags frozen" `Quick
             test_policy_seed_tag_frozen;
-          Alcotest.test_case "prepare memoizes profiling" `Quick
-            test_prepare_memoizes_profiling;
+          Alcotest.test_case "prepare pool arithmetic" `Quick
+            test_prepare_pool_arithmetic;
           Alcotest.test_case "outcome classes" `Quick
             test_outcome_classification;
         ] );

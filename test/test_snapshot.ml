@@ -1,0 +1,363 @@
+(* Checkpointed execution: the explicit-machine pause/capture/resume
+   API, the golden Snapshot sequence, and the campaign fast-forward
+   path. The load-bearing property throughout: resuming from any
+   checkpoint is bit-exact versus from-scratch execution — same
+   outcome, dynamic count, landings, memory image — for any stride,
+   any plan, and any jobs fan-out. *)
+
+let gcd_mlang =
+  let open Mlang.Dsl in
+  program
+    [ garray "out" 2 ]
+    [
+      fn "gcd" [ p_int "a"; p_int "b" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          while_ (v "b" <>! i 0)
+            [ let_ "t" (v "b"); set "b" (v "a" %! v "b"); set "a" (v "t") ];
+          ret (v "a");
+        ];
+      fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [
+          let_ "g" (call "gcd" [ i 252; i 105 ]);
+          let_ "scaled" (v "g" *! i 3);
+          sto "out" (i 0) (v "scaled");
+          ret (i 0);
+        ];
+    ]
+
+(* Shared fixture: program, code, protect-nothing tags (the densest
+   pool), fault-free baseline. *)
+let fixture =
+  lazy
+    (let prog = Mlang.Compile.to_ir gcd_mlang in
+     let code = Sim.Code.of_prog prog in
+     let tagging = Core.Tagging.compute prog in
+     let tags = Core.Tagging.mask tagging Core.Policy.Protect_nothing in
+     let injection = Core.Fault_model.profiling_injection ~tags in
+     let baseline = Sim.Interp.run ~injection ~lenient:true code in
+     (prog, code, tags, baseline))
+
+let campaign_target =
+  lazy
+    (let prog, _, _, _ = Lazy.force fixture in
+     Core.Campaign.of_prog prog)
+
+let budget () =
+  let _, _, _, baseline = Lazy.force fixture in
+  Core.Campaign.timeout_factor * baseline.Sim.Interp.dyn_count
+
+let outcome_str (r : Sim.Interp.result) =
+  match r.Sim.Interp.outcome with
+  | Sim.Interp.Done v ->
+    "done:" ^ Option.fold ~none:"()" ~some:Sim.Value.to_string v
+  | Sim.Interp.Trapped t ->
+    "trap:" ^ Sim.Trap.to_string t
+    ^ (match r.Sim.Interp.trap_site with
+       | Some (f, pc) -> Printf.sprintf "@%s+%d" f pc
+       | None -> "@?")
+  | Sim.Interp.Timeout -> "timeout"
+
+(* Full-result fingerprint, memory image included. *)
+let fingerprint (r : Sim.Interp.result) =
+  let prog, _, _, _ = Lazy.force fixture in
+  Printf.sprintf "%s/%d/%d/%d/%s" (outcome_str r) r.Sim.Interp.dyn_count
+    r.Sim.Interp.injectable_seen r.Sim.Interp.faults_landed
+    (String.concat ","
+       (Array.to_list
+          (Array.map string_of_int
+             (Sim.Memory.read_global_ints r.Sim.Interp.memory prog "out"))))
+
+let run_scratch plan =
+  let _, code, tags, _ = Lazy.force fixture in
+  let injection = Sim.Interp.injection ~tags ~plan in
+  Sim.Interp.run ~injection ~lenient:true ~budget:(budget ()) code
+
+let snapshots stride =
+  let _, code, tags, _ = Lazy.force fixture in
+  Sim.Snapshot.build ~stride ~tags ~lenient:true ~budget:(budget ()) code
+
+let run_resumed snaps plan =
+  let _, _, tags, _ = Lazy.force fixture in
+  let injection = Sim.Interp.injection ~tags ~plan in
+  let first = List.fold_left (fun acc (o, _) -> min acc o) max_int plan in
+  let snap = Sim.Snapshot.nearest snaps ~ordinal:first in
+  (Sim.Interp.finish (Sim.Interp.resume ~injection snap), snap)
+
+let check_equiv ~stride msg plan =
+  let a = run_scratch plan in
+  let b, _ = run_resumed (snapshots stride) plan in
+  Alcotest.(check string) msg (fingerprint a) (fingerprint b)
+
+(* ------------------------------------------------------------------ *)
+(* Machine API basics.                                                 *)
+
+let test_pause_points () =
+  let _, code, tags, baseline = Lazy.force fixture in
+  let total = baseline.Sim.Interp.injectable_seen in
+  Alcotest.(check bool) "pool non-trivial" true (total > 10);
+  let injection = Sim.Interp.injection ~tags ~plan:[] in
+  let m = Sim.Interp.machine ~injection ~lenient:true code in
+  (* Pause at 0 = initial state; then walk forward and capture; every
+     capture sits exactly on its requested ordinal. *)
+  Alcotest.(check bool) "pause at 0" true
+    (Sim.Interp.advance m ~pause_at:0 = `Paused);
+  let s0 = Sim.Interp.capture m in
+  Alcotest.(check int) "ordinal 0" 0 (Sim.Interp.snapshot_ordinal s0);
+  Alcotest.(check int) "dyn 0" 0 (Sim.Interp.snapshot_dyn s0);
+  let mid = total / 2 in
+  Alcotest.(check bool) "pause mid" true
+    (Sim.Interp.advance m ~pause_at:mid = `Paused);
+  let s1 = Sim.Interp.capture m in
+  Alcotest.(check int) "ordinal mid" mid (Sim.Interp.snapshot_ordinal s1);
+  Alcotest.(check bool) "dyn advanced" true (Sim.Interp.snapshot_dyn s1 > 0);
+  Alcotest.(check bool) "halts" true
+    (Sim.Interp.advance m ~pause_at:max_int = `Halted);
+  let r = Sim.Interp.finish m in
+  Alcotest.(check string) "paused-and-finished == straight run"
+    (fingerprint (run_scratch []))
+    (fingerprint r);
+  (* Resuming the mid snapshot with an empty plan replays the tail
+     exactly (the mask keeps counting ordinals; nothing fires). *)
+  let r' = Sim.Interp.finish (Sim.Interp.resume ~injection s1) in
+  Alcotest.(check string) "resume tail == straight run"
+    (fingerprint (run_scratch []))
+    (fingerprint r')
+
+let test_capture_guards () =
+  let _, code, tags, _ = Lazy.force fixture in
+  let injection = Sim.Interp.injection ~tags ~plan:[] in
+  let m = Sim.Interp.machine ~injection ~lenient:true code in
+  ignore (Sim.Interp.advance m ~pause_at:max_int);
+  Alcotest.check_raises "capture after halt"
+    (Invalid_argument "Interp.capture: machine has halted") (fun () ->
+      ignore (Sim.Interp.capture m));
+  let mp = Sim.Interp.machine ~count_exec:true ~lenient:true code in
+  ignore (Sim.Interp.advance mp ~pause_at:0);
+  Alcotest.check_raises "capture under count_exec"
+    (Invalid_argument "Interp.capture: profiling machines are not snapshotable")
+    (fun () -> ignore (Sim.Interp.capture mp));
+  (* A plan ordinal before the snapshot could never land: rejected. *)
+  let m2 = Sim.Interp.machine ~injection ~lenient:true code in
+  ignore (Sim.Interp.advance m2 ~pause_at:5);
+  let s = Sim.Interp.capture m2 in
+  Alcotest.check_raises "plan precedes snapshot"
+    (Invalid_argument "Interp.resume: plan ordinal precedes snapshot")
+    (fun () ->
+      ignore
+        (Sim.Interp.resume
+           ~injection:(Sim.Interp.injection ~tags ~plan:[ (2, 0) ])
+           s))
+
+let test_snapshot_build_shape () =
+  let _, _, _, baseline = Lazy.force fixture in
+  let total = baseline.Sim.Interp.injectable_seen in
+  let stride = 5 in
+  let snaps = snapshots stride in
+  Alcotest.(check int) "stride recorded" stride (Sim.Snapshot.stride snaps);
+  Alcotest.(check int) "checkpoint count" ((total / stride) + 1)
+    (Sim.Snapshot.count snaps);
+  Alcotest.(check int) "nearest rounds down" 10
+    (Sim.Interp.snapshot_ordinal (Sim.Snapshot.nearest snaps ~ordinal:14));
+  Alcotest.(check int) "nearest clamps" (total / stride * stride)
+    (Sim.Interp.snapshot_ordinal (Sim.Snapshot.nearest snaps ~ordinal:max_int));
+  Alcotest.check_raises "stride must be positive"
+    (Invalid_argument "Snapshot.build: stride must be positive") (fun () ->
+      ignore (snapshots 0))
+
+let test_auto_stride_bounds () =
+  (* Small pool, small image: one ordinal per checkpoint. *)
+  Alcotest.(check int) "tiny" 1
+    (Sim.Snapshot.auto_stride ~injectable_total:10 ~image_bytes:100);
+  (* 64-checkpoint cap: stride = ceil(total / 64). *)
+  Alcotest.(check int) "dense" (1_000_000 / 64)
+    (Sim.Snapshot.auto_stride ~injectable_total:1_000_000 ~image_bytes:100);
+  (* Memory budget backs off the checkpoint count: a 32 MiB image keeps
+     only 2 checkpoints. *)
+  Alcotest.(check int) "huge image" 500_000
+    (Sim.Snapshot.auto_stride ~injectable_total:1_000_000
+       ~image_bytes:(32 * 1024 * 1024));
+  Alcotest.(check bool) "never zero" true
+    (Sim.Snapshot.auto_stride ~injectable_total:0 ~image_bytes:0 >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Directed edge cases.                                                *)
+
+let test_fault_at_ordinal_zero () =
+  check_equiv ~stride:4 "ordinal 0" [ (0, 3) ]
+
+let test_fault_past_last_checkpoint () =
+  let _, _, _, baseline = Lazy.force fixture in
+  let total = baseline.Sim.Interp.injectable_seen in
+  let stride = 7 in
+  let plan = [ (total - 1, 5) ] in
+  check_equiv ~stride "last ordinal" plan;
+  (* And confirm that trial really fast-forwarded past a prefix. *)
+  let _, snap = run_resumed (snapshots stride) plan in
+  Alcotest.(check int) "resumed from last checkpoint" (total / stride * stride)
+    (Sim.Interp.snapshot_ordinal snap);
+  Alcotest.(check bool) "skipped a prefix" true
+    (Sim.Interp.snapshot_dyn snap > 0)
+
+let test_empty_plan () = check_equiv ~stride:3 "empty plan" []
+
+(* Scan for a single-fault plan that crashes (flipping gcd's exit
+   condition when [b] has reached 0 sends the loop into [a % 0]), then
+   check the crash — outcome, dynamic count and trap site — reproduces
+   identically from a checkpoint resume in the suffix. *)
+let test_crash_in_resumed_suffix () =
+  let _, _, _, baseline = Lazy.force fixture in
+  let total = baseline.Sim.Interp.injectable_seen in
+  let stride = 3 in
+  let crash =
+    let rec scan ord bit =
+      if ord >= total then None
+      else if bit > 31 then scan (ord + 1) 0
+      else
+        let r = run_scratch [ (ord, bit) ] in
+        match r.Sim.Interp.outcome with
+        | Sim.Interp.Trapped _ when ord >= stride -> Some (ord, bit)
+        | _ -> scan ord (bit + 1)
+    in
+    scan stride 0
+  in
+  match crash with
+  | None -> Alcotest.fail "no crashing single fault found past first stride"
+  | Some (ord, bit) ->
+    let _, snap = run_resumed (snapshots stride) [ (ord, bit) ] in
+    Alcotest.(check bool) "crash is in a resumed suffix" true
+      (Sim.Interp.snapshot_ordinal snap > 0);
+    check_equiv ~stride
+      (Printf.sprintf "crash at ordinal %d bit %d" ord bit)
+      [ (ord, bit) ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random plans, strides, jobs.                            *)
+
+let resume_equals_scratch =
+  QCheck.Test.make ~name:"checkpoint-resume == from-scratch (random plans)"
+    ~count:150
+    QCheck.(triple (int_bound 100_000) (int_range 1 20) (int_range 1 25))
+    (fun (seed, errors, stride) ->
+      let _, _, _, baseline = Lazy.force fixture in
+      let total = baseline.Sim.Interp.injectable_seen in
+      let rng = Random.State.make [| seed; errors; stride |] in
+      let plan =
+        Hashtbl.fold
+          (fun o b acc -> (o, b) :: acc)
+          (Core.Fault_model.make_plan ~rng ~injectable_total:total ~errors)
+          []
+      in
+      let a = run_scratch plan in
+      let b, _ = run_resumed (snapshots stride) plan in
+      fingerprint a = fingerprint b)
+
+(* Campaign level: the prepared target's stride (or disabling
+   checkpointing entirely) and the jobs fan-out are both invisible in
+   the per-trial records, fidelities included. *)
+let campaign_stride_jobs_invariant =
+  QCheck.Test.make ~name:"campaign records invariant under stride x jobs"
+    ~count:12
+    QCheck.(triple (int_bound 1_000) (int_range 1 8) (int_range 1 4))
+    (fun (seed, stride, jobs) ->
+      let prog, _, _, _ = Lazy.force fixture in
+      let target = Lazy.force campaign_target in
+      let score (r : Sim.Interp.result) =
+        let out = Sim.Memory.read_global_ints r.Sim.Interp.memory prog "out" in
+        float_of_int out.(0)
+      in
+      let records checkpoint_stride jobs =
+        let p =
+          Core.Campaign.prepare ~checkpoint_stride target
+            Core.Policy.Protect_nothing
+        in
+        let s = Core.Campaign.run ~jobs ~score p ~errors:2 ~trials:9 ~seed in
+        List.map
+          (fun (t : Core.Campaign.trial) ->
+            Printf.sprintf "%d/%s/%d/%d/%d/%s" t.Core.Campaign.index
+              (Core.Outcome.describe t.Core.Campaign.outcome)
+              t.Core.Campaign.dyn_count t.Core.Campaign.faults_planned
+              t.Core.Campaign.faults_landed
+              (match t.Core.Campaign.fidelity with
+               | None -> "-"
+               | Some f -> Printf.sprintf "%h" f))
+          s.Core.Campaign.trials
+      in
+      records 0 1 = records stride jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign plumbing.                                                  *)
+
+let test_prepare_snapshot_modes () =
+  let target = Lazy.force campaign_target in
+  let p_off =
+    Core.Campaign.prepare ~checkpoint_stride:0 target Core.Policy.Protect_nothing
+  in
+  Alcotest.(check bool) "stride 0 disables" true
+    (p_off.Core.Campaign.snapshots = None);
+  let p_on = Core.Campaign.prepare target Core.Policy.Protect_nothing in
+  Alcotest.(check bool) "default stride checkpoints" true
+    (p_on.Core.Campaign.snapshots <> None);
+  Alcotest.check_raises "negative stride"
+    (Invalid_argument "Campaign.prepare: negative checkpoint stride") (fun () ->
+      ignore
+        (Core.Campaign.prepare ~checkpoint_stride:(-1) target
+           Core.Policy.Protect_nothing))
+
+let test_summary_resume_counters () =
+  let target = Lazy.force campaign_target in
+  let run p = Core.Campaign.run ~jobs:1 p ~errors:1 ~trials:16 ~seed:3 in
+  let off =
+    run
+      (Core.Campaign.prepare ~checkpoint_stride:0 target
+         Core.Policy.Protect_nothing)
+  in
+  Alcotest.(check int) "scratch: no resumes" 0 off.Core.Campaign.resumed_trials;
+  Alcotest.(check int) "scratch: no skips" 0 off.Core.Campaign.skipped_dyn;
+  let on =
+    run
+      (Core.Campaign.prepare ~checkpoint_stride:1 target
+         Core.Policy.Protect_nothing)
+  in
+  Alcotest.(check bool) "stride 1: some trials fast-forward" true
+    (on.Core.Campaign.resumed_trials > 0);
+  Alcotest.(check bool) "stride 1: work skipped" true
+    (on.Core.Campaign.skipped_dyn > 0);
+  Alcotest.(check bool) "hits bounded by trials" true
+    (on.Core.Campaign.resumed_trials <= 16)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "pause points and tails" `Quick test_pause_points;
+          Alcotest.test_case "capture/resume guards" `Quick test_capture_guards;
+          Alcotest.test_case "snapshot build shape" `Quick
+            test_snapshot_build_shape;
+          Alcotest.test_case "auto stride bounds" `Quick test_auto_stride_bounds;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "fault at ordinal 0" `Quick
+            test_fault_at_ordinal_zero;
+          Alcotest.test_case "fault past last checkpoint" `Quick
+            test_fault_past_last_checkpoint;
+          Alcotest.test_case "empty plan" `Quick test_empty_plan;
+          Alcotest.test_case "crash in resumed suffix" `Quick
+            test_crash_in_resumed_suffix;
+        ] );
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest resume_equals_scratch;
+          QCheck_alcotest.to_alcotest campaign_stride_jobs_invariant;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "prepare snapshot modes" `Quick
+            test_prepare_snapshot_modes;
+          Alcotest.test_case "summary resume counters" `Quick
+            test_summary_resume_counters;
+        ] );
+    ]
