@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- micro        # only the micro-benchmarks
      dune exec bench/main.exe -- --jobs 8     # campaign trials on 8 domains
      dune exec bench/main.exe -- --json out.json  # machine-readable timings
+     dune exec bench/main.exe -- --trace t.json --metrics m.jsonl
+                                              # telemetry exports (lib/obs)
 
    All campaigns are deterministic for a fixed seed and for any --jobs
    value: trial RNGs derive from the trial index, so the domain fan-out
@@ -23,13 +25,17 @@ let section title =
   say "%s" title;
   say "%s" (String.make 72 '=')
 
-(* Wall-time ledger, for the console trailer and the --json report. *)
+(* Wall-time ledger, for the console trailer and the --json report.
+   Each experiment also records an obs span (cat "bench"), so a --trace
+   export shows the experiment envelope above the per-trial spans. *)
 let experiment_times : (string * float) list ref = ref []
 
 let timed name f =
+  let s0 = Obs.span_begin () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
   experiment_times := !experiment_times @ [ (name, Unix.gettimeofday () -. t0) ];
+  Obs.span_end ~name ~cat:"bench" s0;
   r
 
 (* ------------------------------------------------------------------ *)
@@ -289,55 +295,76 @@ let micro () : (string * float) list =
 
 (* ------------------------------------------------------------------ *)
 (* JSON report: per-experiment wall times and micro ns/run, so future
-   changes have a perf trajectory to diff against. Shares the report
-   layer's JSON printer, which renders every non-finite float (nan
-   from a failed OLS fit, inf from a zero-length timing) as null —
+   changes have a perf trajectory to diff against. Emitted through the
+   shared report layer (schema etap-report/1, same document shape as
+   every etap --json), whose printer renders every non-finite float
+   (nan from a failed OLS fit, inf from a zero-length timing) as null —
    never a bare token that would break a JSON parser.                  *)
 
 let round3 x = Float.round (x *. 1000.0) /. 1000.0
 
-let write_json (path, oc) ~jobs ~quick ~experiments ~micro ~checkpoint ~total =
-  let open Report.Json in
-  let timing_rows key rows =
-    Arr
+let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~total :
+    Report.t =
+  let secs v = Report.num ~text:(Printf.sprintf "%.3f s" v) v in
+  let timing_table ~id ~title ~key ~unit rows =
+    Report.table ~id ~title
+      ~columns:[ Report.column ~key:"name" "name"; Report.column ~key unit ]
       (List.map
          (fun (name, v) ->
-           Obj [ ("name", Str name); (key, Float (round3 v)) ])
+           let v = round3 v in
+           [ Report.text name; Report.num ~text:(Printf.sprintf "%.3f" v) v ])
          rows)
   in
-  let checkpoint_rows =
-    Arr
+  let checkpoint_table =
+    Report.table ~id:"checkpoint"
+      ~title:"Checkpointed campaigns: fork-from-prefix vs from-scratch"
+      ~columns:
+        (List.map
+           (fun (k, l) -> Report.column ~key:k l)
+           [
+             ("cell", "cell");
+             ("errors", "errors");
+             ("trials_per_policy", "trials/policy");
+             ("trials_resumed_wall_s", "resumed s");
+             ("trials_scratch_wall_s", "scratch s");
+             ("speedup", "speedup");
+             ("checkpoint_hits", "hits");
+             ("trials_total", "trials");
+             ("skipped_dyn", "skipped dyn");
+           ])
       (List.map
          (fun c ->
-           Obj
-             [
-               ("cell", Str c.ck_label);
-               ("errors", Int c.ck_errors);
-               ("trials_per_policy", Int c.ck_trials);
-               ("trials_resumed_wall_s", Float (round3 c.ck_resumed_s));
-               ("trials_scratch_wall_s", Float (round3 c.ck_scratch_s));
-               ( "speedup",
-                 Float (round3 (c.ck_scratch_s /. Float.max c.ck_resumed_s 1e-9))
-               );
-               ("checkpoint_hits", Int c.ck_hits);
-               ("trials_total", Int c.ck_total);
-               ("skipped_dyn", Int c.ck_skipped_dyn);
-             ])
+           [
+             Report.text c.ck_label;
+             Report.int c.ck_errors;
+             Report.int c.ck_trials;
+             secs (round3 c.ck_resumed_s);
+             secs (round3 c.ck_scratch_s);
+             (let s = round3 (c.ck_scratch_s /. Float.max c.ck_resumed_s 1e-9) in
+              Report.num ~text:(Printf.sprintf "%.2fx" s) s);
+             Report.int c.ck_hits;
+             Report.int c.ck_total;
+             Report.int c.ck_skipped_dyn;
+           ])
          checkpoint)
   in
-  let doc =
-    Obj
+  Report.make ~command:"bench"
+    ~meta:
       [
-        ("schema", Str "etap-bench/1");
-        ("quick", Bool quick);
-        ("jobs", of_int_opt jobs);
-        ("experiments", timing_rows "wall_s" experiments);
-        ("micro", timing_rows "ns_per_run" micro);
-        ("checkpoint", checkpoint_rows);
-        ("total_wall_s", Float (round3 total));
+        ("quick", Report.Json.Bool quick);
+        ("jobs", Report.Json.of_int_opt jobs);
+        ("total_wall_s", Report.Json.Float (round3 total));
       ]
-  in
-  Out_channel.output_string oc (to_string doc);
+    [
+      timing_table ~id:"experiments" ~title:"Experiment wall times"
+        ~key:"wall_s" ~unit:"wall_s" experiments;
+      timing_table ~id:"micro" ~title:"Micro-benchmarks" ~key:"ns_per_run"
+        ~unit:"ns_per_run" micro;
+      checkpoint_table;
+    ]
+
+let write_json (path, oc) report =
+  Out_channel.output_string oc (Report.Json.to_string (Report.to_json report));
   close_out oc;
   say "wrote %s" path
 
@@ -346,24 +373,41 @@ let write_json (path, oc) ~jobs ~quick ~experiments ~micro ~checkpoint ~total =
 let usage_and_exit msg =
   prerr_endline msg;
   prerr_endline
-    "usage: main.exe [--quick] [--jobs N | -j N] [--json PATH] [EXPERIMENT...]";
+    "usage: main.exe [--quick] [--jobs N | -j N] [--json PATH] [--trace PATH] \
+     [--metrics PATH] [EXPERIMENT...]";
   exit 2
 
 let () =
-  let rec parse (quick, jobs, json, rest) = function
-    | [] -> (quick, jobs, json, List.rev rest)
-    | "--quick" :: tl -> parse (true, jobs, json, rest) tl
+  let rec parse (quick, jobs, json, trace, metrics, rest) = function
+    | [] -> (quick, jobs, json, trace, metrics, List.rev rest)
+    | "--quick" :: tl -> parse (true, jobs, json, trace, metrics, rest) tl
     | ("--jobs" | "-j") :: n :: tl ->
       (match int_of_string_opt n with
-       | Some j when j >= 1 -> parse (quick, Some j, json, rest) tl
+       | Some j when j >= 1 -> parse (quick, Some j, json, trace, metrics, rest) tl
        | _ -> usage_and_exit ("bad --jobs value: " ^ n))
     | [ ("--jobs" | "-j") ] -> usage_and_exit "--jobs needs a value"
-    | "--json" :: path :: tl -> parse (quick, jobs, Some path, rest) tl
+    | "--json" :: path :: tl -> parse (quick, jobs, Some path, trace, metrics, rest) tl
     | [ "--json" ] -> usage_and_exit "--json needs a path"
-    | a :: tl -> parse (quick, jobs, json, a :: rest) tl
+    | "--trace" :: path :: tl -> parse (quick, jobs, json, Some path, metrics, rest) tl
+    | [ "--trace" ] -> usage_and_exit "--trace needs a path"
+    | "--metrics" :: path :: tl -> parse (quick, jobs, json, trace, Some path, rest) tl
+    | [ "--metrics" ] -> usage_and_exit "--metrics needs a path"
+    | a :: tl -> parse (quick, jobs, json, trace, metrics, a :: rest) tl
   in
-  let quick, jobs, json, args =
-    parse (false, None, None, []) (List.tl (Array.to_list Sys.argv))
+  let quick, jobs, json, trace, metrics, args =
+    parse (false, None, None, None, None, []) (List.tl (Array.to_list Sys.argv))
+  in
+  (* Telemetry sink for --trace/--metrics: installed for the whole run,
+     so every campaign span and counter below lands in it. Without the
+     flags the ambient sink stays disabled and instrumentation is
+     no-op. *)
+  let obs_sink =
+    if trace <> None || metrics <> None then begin
+      let s = Obs.make () in
+      Obs.install s;
+      Some s
+    end
+    else None
   in
   (* Open the report up front so a bad path fails before the (possibly
      long) benchmark run, not after it. *)
@@ -415,8 +459,42 @@ let () =
     (fun (name, secs) -> say "  %-28s %7.2f s" name secs)
     !experiment_times;
   say "total wall time: %.1f s" total;
+  (* Telemetry trailer + exports. The trial-latency histogram comes
+     from the merged obs view (campaign.trial_us, fed by every campaign
+     above); quantiles are bucket representatives, ~9% resolution. *)
+  (match obs_sink with
+   | None -> ()
+   | Some sink ->
+     let v = Obs.view sink in
+     (match List.assoc_opt "campaign.trial_us" v.Obs.hists with
+      | Some h when Core.Stats.hist_count h > 0 ->
+        let q p =
+          match Core.Stats.hist_quantile h p with
+          | Some us -> Printf.sprintf "%.2f ms" (us /. 1000.0)
+          | None -> "n/a"
+        in
+        say "trial latency (%d trials): p50 %s  p90 %s  p99 %s"
+          (Core.Stats.hist_count h) (q 0.50) (q 0.90) (q 0.99)
+      | _ -> ());
+     (match trace with
+      | None -> ()
+      | Some path ->
+        Obs.write_trace ~path v;
+        say "wrote %s" path);
+     match metrics with
+     | None -> ()
+     | Some path ->
+       Obs.write_metrics ~path ~command:"bench"
+         ~meta:
+           [
+             ("quick", Report.Json.Bool quick);
+             ("jobs", Report.Json.of_int_opt jobs);
+           ]
+         v;
+       say "wrote %s" path);
   match json with
   | None -> ()
   | Some dest ->
-    write_json dest ~jobs ~quick ~experiments:!experiment_times
-      ~micro:micro_results ~checkpoint:checkpoint_results ~total
+    write_json dest
+      (bench_report ~jobs ~quick ~experiments:!experiment_times
+         ~micro:micro_results ~checkpoint:checkpoint_results ~total)

@@ -7,6 +7,7 @@
      disasm APP [FUNC]         print the compiled IR
      inject APP -e N [-t T]    fault-injection campaign
      audit [APP]               dynamic taint audit of the tagging analysis
+     profile APP               fault-site attribution profile
      table2 | table3           reproduce the paper's tables
      figure N                  reproduce one figure
      ablation                  run the ablation studies *)
@@ -69,6 +70,49 @@ let stride_arg =
     value
     & opt (some int) None
     & info [ "checkpoint-stride" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event file (etap-trace/1, loadable in \
+     Perfetto or chrome://tracing) of the command's spans — per-trial, \
+     per-stripe, snapshot builds — to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a JSONL metrics stream (etap-metrics/1) — one line per \
+     counter, latency histogram and fault site — to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"PATH" ~doc)
+
+(* Telemetry scope of one command invocation: when [--trace] or
+   [--metrics] was given, install a fresh collecting sink for the
+   duration of [f] (one top-level span around the whole command) and
+   export on the way out — also when [f] raises or returns [Error], so
+   a failing campaign still leaves its partial trace behind. With
+   neither flag the ambient sink stays [Obs.disabled] and the
+   instrumentation throughout the stack stays a no-op. *)
+let with_obs ~trace ~metrics ~command ~meta f =
+  match (trace, metrics) with
+  | None, None -> f ()
+  | _ ->
+    let sink = Obs.make () in
+    Obs.with_sink sink (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            let v = Obs.view sink in
+            (match trace with
+             | None -> ()
+             | Some path ->
+               Obs.write_trace ~path v;
+               say "wrote %s" path);
+            match metrics with
+            | None -> ()
+            | Some path ->
+              Obs.write_metrics ~path ~command ~meta v;
+              say "wrote %s" path)
+          (fun () -> Obs.span ~name:command ~cat:"cli" f))
 
 (* One emitter for every subcommand: the text table(s) go to stdout
    unchanged; [--json PATH] additionally writes the same tables as an
@@ -185,9 +229,22 @@ let disasm_cmd =
     Term.(term_result (const action $ app_arg $ func_arg $ seed_arg))
 
 let inject_cmd =
-  let action name seed errors trials literal jobs checkpoint_stride json =
+  let action name seed errors trials literal jobs checkpoint_stride json trace
+      metrics =
     Result.map
       (fun (app : Apps.App.t) ->
+        let meta =
+          [
+            ("app", Report.Json.Str name);
+            meta_int "errors" errors;
+            meta_int "trials" trials;
+            meta_int "seed" seed;
+            ("literal", Report.Json.Bool literal);
+            meta_jobs jobs;
+            ("checkpoint_stride", Report.Json.of_int_opt checkpoint_stride);
+          ]
+        in
+        with_obs ~trace ~metrics ~command:"inject" ~meta @@ fun () ->
         let b = app.Apps.App.build ~seed in
         let target =
           Core.Campaign.of_prog ~protect_addresses:(not literal)
@@ -285,7 +342,8 @@ let inject_cmd =
     Term.(
       term_result
         (const action $ app_arg $ seed_arg $ errors_arg $ trials_arg
-       $ literal_arg $ jobs_arg $ stride_arg $ json_arg))
+       $ literal_arg $ jobs_arg $ stride_arg $ json_arg $ trace_arg
+       $ metrics_arg))
 
 let asm_cmd =
   let file_arg =
@@ -376,7 +434,7 @@ let audit_cmd =
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
   in
-  let action app seed errors trials literal jobs json =
+  let action app seed errors trials literal jobs json trace metrics =
     let mode =
       if literal then Harness.Experiment.Literal else Harness.Experiment.Full
     in
@@ -389,6 +447,20 @@ let audit_cmd =
           (find_app name)
     in
     Result.bind loaded_res (fun loaded ->
+        let obs_meta =
+          [
+            ( "app",
+              match app with
+              | None -> Report.Json.Null
+              | Some a -> Report.Json.Str a );
+            meta_int "errors" errors;
+            meta_int "trials" trials;
+            meta_int "seed" seed;
+            ("literal", Report.Json.Bool literal);
+            meta_jobs jobs;
+          ]
+        in
+        with_obs ~trace ~metrics ~command:"audit" ~meta:obs_meta @@ fun () ->
         let rows =
           Harness.Taxonomy.audit ~errors ~trials ~seed:(seed + 100) ?jobs
             ~mode loaded
@@ -432,35 +504,95 @@ let audit_cmd =
     Term.(
       term_result
         (const action $ app_opt_arg $ seed_arg $ errors_arg $ trials_arg
-       $ literal_arg $ jobs_arg $ json_arg))
+       $ literal_arg $ jobs_arg $ json_arg $ trace_arg $ metrics_arg))
+
+let profile_cmd =
+  let top_arg =
+    let doc = "Show at most $(docv) hottest sites (0 = all); sites past \
+               the cutoff collapse into one aggregate row, so column \
+               sums always equal the campaign totals." in
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let action name seed errors trials literal jobs checkpoint_stride top json
+      trace metrics =
+    Result.map
+      (fun (app : Apps.App.t) ->
+        let mode =
+          if literal then Harness.Experiment.Literal
+          else Harness.Experiment.Full
+        in
+        let meta =
+          [
+            ("app", Report.Json.Str name);
+            meta_int "errors" errors;
+            meta_int "trials" trials;
+            meta_int "seed" seed;
+            ("literal", Report.Json.Bool literal);
+            meta_jobs jobs;
+            ("checkpoint_stride", Report.Json.of_int_opt checkpoint_stride);
+          ]
+        in
+        with_obs ~trace ~metrics ~command:"profile" ~meta @@ fun () ->
+        let l = Harness.Experiment.load ~seed app in
+        let p =
+          Harness.Profile.run ~errors ~trials ~seed:(seed + 100) ?jobs
+            ?checkpoint_stride ~mode l
+        in
+        let top = if top <= 0 then None else Some top in
+        say "%s" (Harness.Profile.render ?top p);
+        match json with
+        | None -> ()
+        | Some path ->
+          Report.write_json ~path (Harness.Profile.report ?top p);
+          say "wrote %s" path)
+      (find_app name)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Fault-site attribution profile: run a campaign and rank the \
+          (function, instruction) sites where injected faults landed by \
+          how the trials ended")
+    Term.(
+      term_result
+        (const action $ app_arg $ seed_arg $ errors_arg $ trials_arg
+       $ literal_arg $ jobs_arg $ stride_arg $ top_arg $ json_arg
+       $ trace_arg $ metrics_arg))
 
 let table2_cmd =
-  let action trials jobs json =
+  let action trials jobs json trace metrics =
+    let meta = [ meta_int "trials" trials; meta_jobs jobs ] in
+    with_obs ~trace ~metrics ~command:"table2" ~meta @@ fun () ->
     let loaded = Harness.Experiment.load_all ?jobs () in
-    emit ?json ~command:"table2"
-      ~meta:[ meta_int "trials" trials; meta_jobs jobs ]
+    emit ?json ~command:"table2" ~meta
       [ Harness.Table2.to_table (Harness.Table2.run ~trials ?jobs loaded) ]
   in
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce paper Table 2")
-    Term.(const action $ trials_arg $ jobs_arg $ json_arg)
+    Term.(const action $ trials_arg $ jobs_arg $ json_arg $ trace_arg
+          $ metrics_arg)
 
 let table3_cmd =
-  let action jobs json =
+  let action jobs json trace metrics =
+    let meta = [ meta_jobs jobs ] in
+    with_obs ~trace ~metrics ~command:"table3" ~meta @@ fun () ->
     let loaded = Harness.Experiment.load_all ?jobs () in
-    emit ?json ~command:"table3"
-      ~meta:[ meta_jobs jobs ]
+    emit ?json ~command:"table3" ~meta
       [ Harness.Table3.to_table (Harness.Table3.run ?jobs loaded) ]
   in
   Cmd.v (Cmd.info "table3" ~doc:"Reproduce paper Table 3")
-    Term.(const action $ jobs_arg $ json_arg)
+    Term.(const action $ jobs_arg $ json_arg $ trace_arg $ metrics_arg)
 
 let figure_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"1-6")
   in
-  let action n trials jobs json =
+  let action n trials jobs json trace metrics =
     if n < 1 || n > 6 then Error (`Msg "figure number must be 1-6")
     else begin
+      let meta =
+        [ meta_int "figure" n; meta_int "trials" trials; meta_jobs jobs ]
+      in
+      with_obs ~trace ~metrics ~command:"figure" ~meta @@ fun () ->
       let loaded = Harness.Experiment.load_all ?jobs () in
       let f =
         List.nth
@@ -470,21 +602,23 @@ let figure_cmd =
           ]
           (n - 1)
       in
-      emit ?json ~command:"figure"
-        ~meta:
-          [ meta_int "figure" n; meta_int "trials" trials; meta_jobs jobs ]
+      emit ?json ~command:"figure" ~meta
         [ Harness.Figures.to_table (f ~trials ?jobs loaded) ];
       Ok ()
     end
   in
   Cmd.v (Cmd.info "figure" ~doc:"Reproduce one paper figure")
-    Term.(term_result (const action $ n_arg $ trials_arg $ jobs_arg $ json_arg))
+    Term.(
+      term_result
+        (const action $ n_arg $ trials_arg $ jobs_arg $ json_arg $ trace_arg
+       $ metrics_arg))
 
 let ablation_cmd =
-  let action trials jobs json =
+  let action trials jobs json trace metrics =
+    let meta = [ meta_int "trials" trials; meta_jobs jobs ] in
+    with_obs ~trace ~metrics ~command:"ablation" ~meta @@ fun () ->
     let loaded = Harness.Experiment.load_all ?jobs () in
-    emit ?json ~command:"ablation"
-      ~meta:[ meta_int "trials" trials; meta_jobs jobs ]
+    emit ?json ~command:"ablation" ~meta
       [
         Harness.Ablation.address_table
           (Harness.Ablation.address ~trials ?jobs loaded);
@@ -493,7 +627,8 @@ let ablation_cmd =
       ]
   in
   Cmd.v (Cmd.info "ablation" ~doc:"Run the ablation studies")
-    Term.(const action $ trials_arg $ jobs_arg $ json_arg)
+    Term.(const action $ trials_arg $ jobs_arg $ json_arg $ trace_arg
+          $ metrics_arg)
 
 let () =
   let info =
@@ -507,6 +642,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; tag_cmd; disasm_cmd; asm_cmd; compile_cmd;
-            inject_cmd; audit_cmd; table2_cmd;
+            inject_cmd; audit_cmd; profile_cmd; table2_cmd;
             table3_cmd; figure_cmd; ablation_cmd;
           ]))

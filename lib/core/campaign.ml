@@ -94,6 +94,7 @@ let injectable_pool (t : target) (tags : bool array array) =
   !total
 
 let prepare ?checkpoint_stride (t : target) (policy : Policy.t) =
+  let t0 = Obs.span_begin () in
   let tags = Tagging.mask t.tagging policy in
   let injectable_total = injectable_pool t tags in
   let budget = timeout_factor * t.baseline.Sim.Interp.dyn_count in
@@ -119,6 +120,16 @@ let prepare ?checkpoint_stride (t : target) (policy : Policy.t) =
           ~memory:(Sim.Memory.copy t.proto) t.code)
       stride
   in
+  if Obs.enabled () then begin
+    Obs.count "campaign.prepares" 1;
+    Obs.span_end ~name:"prepare" ~cat:"campaign"
+      ~args:
+        [
+          ("policy", Policy.to_string policy);
+          ("injectable_total", string_of_int injectable_total);
+        ]
+      t0
+  end;
   { target = t; policy; tags; injectable_total; budget; snapshots }
 
 (* One trial's raw simulator result, plus the dynamic instructions a
@@ -141,8 +152,20 @@ let run_trial_raw ?(taint = false) (p : prepared) ~errors ~rng :
     let first = Hashtbl.fold (fun o _ acc -> min o acc) plan max_int in
     let snap = Sim.Snapshot.nearest snaps ~ordinal:first in
     let m = Sim.Interp.resume ~injection snap in
-    (Sim.Interp.finish m, Sim.Interp.snapshot_dyn snap)
+    let skipped = Sim.Interp.snapshot_dyn snap in
+    if Obs.enabled () then begin
+      (* snapshot.* telemetry is stride-dependent by nature (how much
+         prefix a restore skips depends on checkpoint spacing); only
+         campaign.* and sim.* counters are stride-invariant. *)
+      if skipped > 0 then begin
+        Obs.count "snapshot.hit" 1;
+        Obs.count "snapshot.skipped_dyn" skipped
+      end
+      else Obs.count "snapshot.miss" 1
+    end;
+    (Sim.Interp.finish m, skipped)
   | _ ->
+    if Obs.enabled () then Obs.count "snapshot.miss" 1;
     ( Sim.Interp.run ~injection ~budget:p.budget ~taint
         ~memory:(Sim.Memory.copy p.target.proto) p.target.code,
       0 )
@@ -153,8 +176,35 @@ let run_trial_raw ?(taint = false) (p : prepared) ~errors ~rng :
 let run_trial_result ?taint (p : prepared) ~errors ~rng : Sim.Interp.result =
   fst (run_trial_raw ?taint p ~errors ~rng)
 
+(* Per-trial telemetry: counters keyed only on what the trial computed
+   (outcome class, landed faults and their sites) — never on which
+   domain or stripe ran it — so totals are identical for any [--jobs];
+   the wall-clock lives only in the span and the latency histogram. *)
+let obs_trial ~index ~outcome ~(r : Sim.Interp.result) ~resumed t0 =
+  let cls, cls_name =
+    match (outcome : Outcome.t) with
+    | Outcome.Crash _ -> (Obs.Crash, "crash")
+    | Outcome.Infinite -> (Obs.Infinite, "infinite")
+    | Outcome.Completed -> (Obs.Completed, "completed")
+  in
+  Obs.count "campaign.trials" 1;
+  Obs.count ("campaign.trials." ^ cls_name) 1;
+  let landed = r.Sim.Interp.faults_landed in
+  if landed > 0 then Obs.count "campaign.faults_landed" landed;
+  Array.iter
+    (fun (func, pc) -> Obs.site ~func ~pc cls)
+    r.Sim.Interp.landed_sites;
+  Obs.observe "campaign.trial_us" (Obs.elapsed_us t0);
+  Obs.span_end ~name:"trial" ~cat:"campaign"
+    ~args:
+      (("index", string_of_int index)
+       :: ("outcome", cls_name)
+       :: (if resumed then [ ("resumed", "1") ] else []))
+    t0
+
 let run_trial_skip ?score ?taint (p : prepared) ~errors ~rng ~index :
     trial * int =
+  let t0 = Obs.span_begin () in
   let r, skipped = run_trial_raw ?taint p ~errors ~rng in
   let outcome = Outcome.of_result r in
   let fidelity =
@@ -162,6 +212,7 @@ let run_trial_skip ?score ?taint (p : prepared) ~errors ~rng ~index :
     | Outcome.Completed, Some score -> Some (score r)
     | _ -> None
   in
+  if Obs.enabled () then obs_trial ~index ~outcome ~r ~resumed:(skipped > 0) t0;
   ( {
       index;
       outcome;

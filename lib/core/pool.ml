@@ -22,19 +22,34 @@ let resolve_jobs ?jobs n =
   let j = match jobs with Some j -> j | None -> default_jobs () in
   max 1 (min j n)
 
+(* Per-stripe telemetry spans. Spans only, never counters: a stripe
+   boundary is a scheduling artifact, and counter totals must stay
+   identical across [--jobs] values (lib/obs determinism contract). *)
+let stripe_span ~stripe ~jobs t0 =
+  Obs.span_end ~name:"stripe" ~cat:"pool"
+    ~args:[ ("stripe", string_of_int stripe); ("jobs", string_of_int jobs) ]
+    t0
+
 let map_n ?jobs n (f : int -> 'a) : 'a array =
   if n <= 0 then [||]
   else
     let jobs = resolve_jobs ?jobs n in
-    if jobs = 1 then Array.init n f
+    if jobs = 1 then begin
+      let t0 = Obs.span_begin () in
+      let r = Array.init n f in
+      stripe_span ~stripe:0 ~jobs:1 t0;
+      r
+    end
     else begin
       let results = Array.make n None in
       let stripe first () =
+        let t0 = Obs.span_begin () in
         let i = ref first in
         while !i < n do
           results.(!i) <- Some (f !i);
           i := !i + jobs
-        done
+        done;
+        stripe_span ~stripe:first ~jobs t0
       in
       let workers =
         Array.init (jobs - 1) (fun k -> Domain.spawn (stripe (k + 1)))

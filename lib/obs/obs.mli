@@ -1,0 +1,179 @@
+(** Campaign telemetry: spans, counters, log-bucketed histograms, a
+    fault-site attribution tally, and exporters (Chrome trace-event
+    JSON and a JSONL metrics stream).
+
+    The layer is {e ambient}: recording goes through the currently
+    {!install}ed {!sink}. The default sink is {!disabled}, and every
+    recording entry point is a cheap no-op then — one atomic load and a
+    compare, no allocation — so instrumentation can stay in place on
+    hot paths. An enabled sink gives each domain a private buffer
+    (registered on first write, then written lock-free), and {!view}
+    merges the buffers with commutative, associative operations, so the
+    merged counters, histograms and site tallies are identical for any
+    domain fan-out and any merge order. Only span timestamps are
+    inherently non-deterministic; they appear in obs output only, never
+    in trial records.
+
+    Determinism contract (see DESIGN.md §13): for a fixed campaign
+    configuration, every counter total, histogram {e count} and site
+    tally is byte-identical across [--jobs] values; histogram bucket
+    contents and span timings are wall-clock and therefore volatile. *)
+
+(** Mergeable log-bucketed histogram (shared with [Core.Stats]).
+
+    Buckets are geometric with 8 sub-buckets per octave (ratio
+    [2^(1/8)], ~9% relative width): bucket [i] holds values whose
+    [log2] rounds to [i/8]. Non-positive and NaN samples land in a
+    single underflow bucket whose representative value is [0.]. Merging
+    adds bucket counts, so [merge] is exact, associative and
+    commutative. *)
+module Hist : sig
+  type t
+
+  val empty : t
+  val add : t -> float -> t
+  val merge : t -> t -> t
+  val count : t -> int
+
+  val quantile : t -> float -> float option
+  (** [quantile h q] is the representative value of the bucket
+      containing the [ceil (q * count)]-th smallest sample ([q] clamped
+      to [0,1]); [None] on the empty histogram — never [nan]. *)
+
+  val buckets : t -> (int * int) list
+  (** [(bucket index, count)] pairs in ascending bucket order. *)
+
+  val bucket_value : int -> float
+  (** Representative value of a bucket: [2^(i/8)], or [0.] for the
+      underflow bucket. Always finite. *)
+end
+
+(** {1 Sinks} *)
+
+type sink
+
+val disabled : sink
+(** The inert sink: recording through it does nothing and allocates
+    nothing. Installed by default. *)
+
+val make : unit -> sink
+(** A fresh collecting sink. *)
+
+val install : sink -> unit
+(** Make [sink] the ambient sink for all subsequent recording, on
+    every domain. *)
+
+val installed : unit -> sink
+
+val enabled : unit -> bool
+(** Whether the ambient sink collects ([installed () != disabled]). *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Install [sink], run the thunk, restore the previous sink (also on
+    exception). *)
+
+(** {1 Recording}
+
+    All of these are no-ops when the ambient sink is {!disabled}. *)
+
+val count : string -> int -> unit
+(** [count name v] adds [v] to the counter [name]. *)
+
+val observe : string -> float -> unit
+(** [observe name x] adds one sample to the histogram [name]. *)
+
+(** Outcome class of a fault landing, for the attribution tally. *)
+type cls =
+  | Crash
+  | Infinite
+  | Completed
+
+val site : func:string -> pc:int -> cls -> unit
+(** Tally one injected fault that landed at body index [pc] of
+    function [func], in a trial classified as [cls]. *)
+
+val now_us : unit -> float
+(** The clock spans are stamped with, in microseconds. (OCaml's stdlib
+    exposes no monotonic clock without C stubs, so this is
+    [Unix.gettimeofday]; spans are for tracing, not benchmarking.) *)
+
+val span_begin : unit -> float
+(** Start timestamp for a span: {!now_us} when enabled, [0.] when
+    disabled (a static constant — no allocation). *)
+
+val elapsed_us : float -> float
+(** Microseconds since a {!span_begin} timestamp. *)
+
+val span_end :
+  name:string -> ?cat:string -> ?args:(string * string) list -> float -> unit
+(** [span_end ~name t0] records a complete span begun at [t0]. Spans
+    whose [t0] is [0.] (begun while disabled) are dropped, so a sink
+    installed mid-span never records a garbage duration. [cat] defaults
+    to ["etap"]. *)
+
+val span : name:string -> ?cat:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (recorded even if it raises). *)
+
+(** {1 Merged views and exporters} *)
+
+type span_ev = {
+  sp_name : string;
+  sp_cat : string;
+  sp_ts_us : float;
+  sp_dur_us : float;
+  sp_tid : int;  (** domain id of the recording domain *)
+  sp_args : (string * string) list;
+}
+
+type view = {
+  counters : (string * int) list;  (** sorted by name *)
+  hists : (string * Hist.t) list;  (** sorted by name *)
+  sites : ((string * int) * int array) list;
+      (** [(func, pc)] -> counts indexed by {!cls} (3 cells), sorted by
+          [(func, pc)] *)
+  spans : span_ev list;  (** sorted by [(ts, tid, name)] *)
+}
+
+val view : sink -> view
+(** Merge the sink's per-domain buffers. Non-destructive: the sink
+    keeps collecting, and a later [view] includes everything again.
+    Call after the domains writing to the sink have been joined. *)
+
+val cls_index : cls -> int
+(** Index of a class in a {!view} site tally: 0 crash, 1 infinite,
+    2 completed. *)
+
+val trace_schema_version : string
+(** ["etap-trace/1"]. *)
+
+val metrics_schema_version : string
+(** ["etap-metrics/1"]. *)
+
+val trace_json : view -> Report.Json.t
+(** Chrome trace-event document (loadable by chrome://tracing and
+    Perfetto): one ["ph": "X"] complete event per span plus thread-name
+    metadata, under a top-level [schema] marker. *)
+
+val write_trace : path:string -> view -> unit
+
+val metrics_lines :
+  ?redact_volatile:bool ->
+  command:string ->
+  meta:(string * Report.Json.t) list ->
+  view ->
+  string list
+(** The JSONL metrics stream, one compact JSON document per line: a
+    header line declaring [schema]/[command]/[meta] plus capture host
+    and wall-clock time, then one line per counter, histogram and
+    fault site. [redact_volatile] (default false, used by the golden
+    generator) nulls the wall-clock-dependent fields — capture time,
+    hostname, histogram quantiles and buckets — leaving a byte-stable
+    document; deterministic fields (every counter, histogram counts,
+    site tallies) are kept. *)
+
+val write_metrics :
+  path:string ->
+  command:string ->
+  meta:(string * Report.Json.t) list ->
+  view ->
+  unit

@@ -6,8 +6,8 @@
    - [to_text] — the plain-text table the harness has always printed
      (byte-identical to the old [Tablefmt.render] output);
    - [to_json] — a machine-readable document under the versioned
-     schema [etap-report/1], mirroring the [etap-bench/1] convention
-     of the bench harness.
+     schema [etap-report/1], shared by every [etap --json] subcommand
+     and the bench harness.
 
    Cells keep the numeric value and the display text separately, so
    the JSON side always emits real numbers (or [null] — never a bare
@@ -15,8 +15,9 @@
    historical formatting. *)
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON values and printer, shared by the [etap-report/1] and
-   [etap-bench/1] emitters. No external dependency.                    *)
+(* Minimal JSON values and printer, shared by the [etap-report/1],
+   [etap-trace/1] and [etap-metrics/1] emitters. No external
+   dependency.                                                         *)
 
 module Json = struct
   type t =
@@ -97,6 +98,46 @@ module Json = struct
     let buf = Buffer.create 1024 in
     write buf ~indent:0 t;
     Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  (* Single-line form, for JSONL streams (one document per line) and
+     large machine-only payloads like trace events. Same value
+     rendering as [write] — in particular non-finite floats still print
+     as null. *)
+  let rec write_compact buf t =
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float x ->
+      Buffer.add_string buf (if Float.is_finite x then float_repr x else "null")
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write_compact buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_compact_string t =
+    let buf = Buffer.create 256 in
+    write_compact buf t;
     Buffer.contents buf
 
   let of_int_opt = function None -> Null | Some i -> Int i

@@ -69,6 +69,10 @@ type result = {
   trap_site : (string * int) option;
       (* (function name, body index) of the trapping instruction when
          [outcome] is [Trapped]; [None] otherwise *)
+  landed_sites : (string * int) array;
+      (* (function name, body index) of each landed fault, in landing
+         order; length [faults_landed]. The raw material of the obs
+         fault-site attribution profile. *)
   fault_flow : Taint.summary option;
       (* [Some] iff [taint] was set: the shadow-taint fault-flow
          classification of this run *)
@@ -167,6 +171,12 @@ type machine = {
   mutable dyn : int;
   mutable inj_seen : int;
   mutable landed : int;
+  land_fids : int array;  (* fid of landing [i], parallel to the plan *)
+  land_pcs : int array;
+  mutable cur_fid : int;
+      (* fid of the frame the dispatch loop is executing in — the
+         landing-site attribution for the next fault. Synced when the
+         head frame changes and on return write-back. *)
   mutable stack : frame list;  (* innermost frame first; never empty while Running *)
   mutable depth : int;         (* depth of the head frame; entry frame is 0 *)
   mutable status : status;
@@ -224,6 +234,9 @@ let machine ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
     dyn = 0;
     inj_seen = 0;
     landed = 0;
+    land_fids = Array.make (Array.length plan_ords) 0;
+    land_pcs = Array.make (Array.length plan_ords) 0;
+    cur_fid = code.Code.entry_fid;
     stack = [ fresh_frame code code.Code.entry_fid ];
     depth = 0;
     status = Running;
@@ -238,6 +251,13 @@ let advance_plan m =
   m.landed <- m.landed + 1;
   Array.unsafe_get m.plan_bits (c - 1)
 
+(* Landing-site record: (fid, pc) per plan entry, written into arrays
+   preallocated at plan length — no allocation on the landing path, and
+   plans hold only a handful of entries. *)
+let record_land m pc =
+  m.land_fids.(m.landed - 1) <- m.cur_fid;
+  m.land_pcs.(m.landed - 1) <- pc
+
 (* Fault hooks: called with the body index of the defining instruction
    and the freshly computed value, on every value-producing write-back
    (including call-return write-back, attributed to the DCall). *)
@@ -245,8 +265,11 @@ let inject_i m ftags pc v =
   if m.has_injection && Array.unsafe_get ftags pc then begin
     let ord = m.inj_seen in
     m.inj_seen <- ord + 1;
-    if ord = m.next_planned then
-      Value.flip_int ~bit:(advance_plan m land 31) v
+    if ord = m.next_planned then begin
+      let bit = advance_plan m in
+      record_land m pc;
+      Value.flip_int ~bit:(bit land 31) v
+    end
     else v
   end
   else v
@@ -255,8 +278,11 @@ let inject_f m ftags pc x =
   if m.has_injection && Array.unsafe_get ftags pc then begin
     let ord = m.inj_seen in
     m.inj_seen <- ord + 1;
-    if ord = m.next_planned then
-      Value.flip_float ~bit:(advance_plan m land 63) x
+    if ord = m.next_planned then begin
+      let bit = advance_plan m in
+      record_land m pc;
+      Value.flip_float ~bit:(bit land 63) x
+    end
     else x
   end
   else x
@@ -273,6 +299,7 @@ let return m (v : Value.t option) =
     m.stack <- rest;
     m.depth <- m.depth - 1;
     let df = m.code.Code.funcs.(caller.fid) in
+    m.cur_fid <- caller.fid;
     (match df.Code.dbody.(caller.pc) with
      | Code.DCall c ->
        (if c.Code.dst >= 0 then
@@ -312,6 +339,7 @@ let exec m ~pause_at =
     let iregs = fr.iregs and fregs = fr.fregs in
     let counts = if m.count_exec then m.exec_counts.(fr.fid) else no_counts in
     let ftags = if m.has_injection then m.all_tags.(fr.fid) else no_tags in
+    m.cur_fid <- fr.fid;
     (* Returns unit when the head frame changed (call or return) or the
        machine halted; the outer loop then re-enters. *)
     let rec loop pc =
@@ -442,6 +470,27 @@ let advance m ~pause_at : [ `Paused | `Halted ] =
       `Halted)
   | _ -> `Halted
 
+(* Telemetry for one finished run. Cold path (once per run) and
+   guarded by [Obs.enabled], so the dispatch loop stays oblivious to
+   observability. Counter totals depend only on what the run executed,
+   never on scheduling — the jobs-invariance contract of lib/obs. *)
+let obs_run_counters ~dyn ~inj_seen ~landed ~outcome ~trap_site =
+  if Obs.enabled () then begin
+    Obs.count "sim.runs" 1;
+    Obs.count "sim.instructions" dyn;
+    Obs.count "sim.injectable_seen" inj_seen;
+    if landed > 0 then Obs.count "sim.faults_landed" landed;
+    (match outcome with
+     | Trapped t ->
+       Obs.count ("sim.trap." ^ Trap.kind t) 1;
+       (match trap_site with
+        | Some (func, pc) ->
+          Obs.count (Printf.sprintf "sim.trap_site.%s+%d" func pc) 1
+        | None -> ())
+     | Timeout -> Obs.count "sim.timeouts" 1
+     | Done _ -> ())
+  end
+
 let finish m : result =
   (match advance m ~pause_at:max_int with
    | `Halted -> ()
@@ -457,6 +506,8 @@ let finish m : result =
         | Some (fid, pc) -> Some (m.code.Code.funcs.(fid).Code.name, pc)
         | None -> None )
   in
+  obs_run_counters ~dyn:m.dyn ~inj_seen:m.inj_seen ~landed:m.landed ~outcome
+    ~trap_site;
   {
     outcome;
     dyn_count = m.dyn;
@@ -465,6 +516,9 @@ let finish m : result =
     memory = m.memory;
     exec_counts = m.exec_counts;
     trap_site;
+    landed_sites =
+      Array.init m.landed (fun i ->
+          (m.code.Code.funcs.(m.land_fids.(i)).Code.name, m.land_pcs.(i)));
     fault_flow = None;
   }
 
@@ -540,6 +594,11 @@ let resume ?injection (s : snapshot) : machine =
     dyn = s.s_dyn;
     inj_seen = s.s_inj_seen;
     landed = 0;
+    land_fids = Array.make (Array.length plan_ords) 0;
+    land_pcs = Array.make (Array.length plan_ords) 0;
+    cur_fid =
+      (if Array.length s.s_frames > 0 then s.s_frames.(0).fid
+       else s.s_code.Code.entry_fid);
     stack = Array.to_list (Array.map copy_frame s.s_frames);
     depth = s.s_depth;
     status = Running;
@@ -594,6 +653,8 @@ let run_taint ?injection ?lenient ~budget ~count_exec ?memory (code : Code.t) :
     | None -> (no_counts, no_counts)
   in
   let plan_len = Array.length plan_ords in
+  let land_fids = Array.make plan_len 0 in
+  let land_pcs = Array.make plan_len 0 in
   let cursor = ref 0 in
   let next_planned = ref (if plan_len > 0 then plan_ords.(0) else max_int) in
   let advance_plan () =
@@ -630,8 +691,12 @@ let run_taint ?injection ?lenient ~budget ~count_exec ?memory (code : Code.t) :
       if has_injection && Array.unsafe_get ftags pc then begin
         let ord = !inj_seen in
         incr inj_seen;
-        if ord = !next_planned then
-          Value.flip_int ~bit:(advance_plan () land 31) v
+        if ord = !next_planned then begin
+          let bit = advance_plan () in
+          land_fids.(!landed - 1) <- fid;
+          land_pcs.(!landed - 1) <- pc;
+          Value.flip_int ~bit:(bit land 31) v
+        end
         else v
       end
       else v
@@ -640,8 +705,12 @@ let run_taint ?injection ?lenient ~budget ~count_exec ?memory (code : Code.t) :
       if has_injection && Array.unsafe_get ftags pc then begin
         let ord = !inj_seen in
         incr inj_seen;
-        if ord = !next_planned then
-          Value.flip_float ~bit:(advance_plan () land 63) x
+        if ord = !next_planned then begin
+          let bit = advance_plan () in
+          land_fids.(!landed - 1) <- fid;
+          land_pcs.(!landed - 1) <- pc;
+          Value.flip_float ~bit:(bit land 63) x
+        end
         else x
       end
       else x
@@ -852,6 +921,8 @@ let run_taint ?injection ?lenient ~budget ~count_exec ?memory (code : Code.t) :
       Some (code.Code.funcs.(!trap_fid).Code.name, !trap_pc)
     | _ -> None
   in
+  obs_run_counters ~dyn:!dyn ~inj_seen:!inj_seen ~landed:!landed ~outcome
+    ~trap_site;
   {
     outcome;
     dyn_count = !dyn;
@@ -860,6 +931,9 @@ let run_taint ?injection ?lenient ~budget ~count_exec ?memory (code : Code.t) :
     memory;
     exec_counts;
     trap_site;
+    landed_sites =
+      Array.init !landed (fun i ->
+          (code.Code.funcs.(land_fids.(i)).Code.name, land_pcs.(i)));
     fault_flow =
       Some
         (Taint.summarize tr ~func_name:(fun f -> code.Code.funcs.(f).Code.name));

@@ -44,6 +44,12 @@ type result = {
           body index of the instruction whose evaluation trapped.
           Stack-overflow traps are attributed to the overflowing call
           site. [None] for [Done] and [Timeout]. *)
+  landed_sites : (string * int) array;
+      (** (function name, body index) of each landed fault, in landing
+          order; length [faults_landed]. Return write-back landings are
+          attributed to the caller's [DCall], matching where the
+          injection hook runs. The raw material of the obs fault-site
+          attribution profile. *)
   fault_flow : Taint.summary option;
       (** shadow-taint fault-flow classification; [Some] iff the run
           was started with [~taint:true] *)

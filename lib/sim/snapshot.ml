@@ -39,6 +39,7 @@ let auto_stride ~injectable_total ~image_bytes =
 
 let build ~stride ~tags ?lenient ?budget ?memory code : t =
   if stride <= 0 then invalid_arg "Snapshot.build: stride must be positive";
+  let t0 = Obs.span_begin () in
   (* Empty plan: the injection only installs the tag mask, so ordinals
      advance exactly as they will in every trial, and no fault fires. *)
   let injection = Interp.injection ~tags ~plan:[] in
@@ -54,7 +55,21 @@ let build ~stride ~tags ?lenient ?budget ?memory code : t =
     | `Halted -> ()
   in
   go ();
-  { stride; checkpoints = Array.of_list (List.rev !acc) }
+  let t = { stride; checkpoints = Array.of_list (List.rev !acc) } in
+  if Obs.enabled () then begin
+    (* Stride-dependent by construction (unlike the sim.* run counters,
+       which are jobs- and stride-invariant). *)
+    Obs.count "snapshot.builds" 1;
+    Obs.count "snapshot.checkpoints" (Array.length t.checkpoints);
+    Obs.span_end ~name:"snapshot.build" ~cat:"sim"
+      ~args:
+        [
+          ("stride", string_of_int stride);
+          ("checkpoints", string_of_int (Array.length t.checkpoints));
+        ]
+      t0
+  end;
+  t
 
 let nearest t ~ordinal =
   if ordinal < 0 then invalid_arg "Snapshot.nearest: negative ordinal";

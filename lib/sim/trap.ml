@@ -21,4 +21,15 @@ let to_string = function
   | Call_stack_overflow d -> Printf.sprintf "call stack overflow at depth %d" d
   | Null_access -> "null access"
 
+(* Payload-free slug, stable across runs — telemetry counter names
+   ("sim.trap.<kind>") must not vary with the faulting address. *)
+let kind = function
+  | Out_of_bounds _ -> "out_of_bounds"
+  | Unaligned _ -> "unaligned"
+  | Division_by_zero -> "div_by_zero"
+  | Type_confusion _ -> "type_confusion"
+  | Float_to_int_overflow _ -> "f2i_overflow"
+  | Call_stack_overflow _ -> "stack_overflow"
+  | Null_access -> "null_access"
+
 let pp fmt t = Format.pp_print_string fmt (to_string t)

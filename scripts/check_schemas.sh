@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Validate the versioned schema markers of etap's machine-readable
+# outputs. Every JSON document the toolchain writes carries a "schema"
+# field; this script is the CI gate that keeps those markers (and the
+# documents' basic shape) from drifting silently.
+#
+#   check_schemas.sh report FILE    # etap-report/1 (etap --json, bench --json)
+#   check_schemas.sh trace FILE     # etap-trace/1  (--trace)
+#   check_schemas.sh metrics FILE   # etap-metrics/1 (--metrics, JSONL)
+#
+# Uses python3's json module (present on CI runners); no jq dependency.
+set -euo pipefail
+
+usage="usage: check_schemas.sh report|trace|metrics FILE"
+kind="${1:?$usage}"
+file="${2:?$usage}"
+
+python3 - "$kind" "$file" <<'EOF'
+import json, sys
+
+kind, path = sys.argv[1], sys.argv[2]
+
+def fail(msg):
+    print(f"schema check FAILED for {path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+if kind == "metrics":
+    # JSONL: first line is the header, every later line a typed record.
+    with open(path) as f:
+        lines = [json.loads(l) for l in f if l.strip()]
+    expect(lines, "empty metrics stream")
+    head = lines[0]
+    expect(head.get("schema") == "etap-metrics/1",
+           f"bad schema marker {head.get('schema')!r}")
+    expect("command" in head and "meta" in head, "header missing command/meta")
+    for rec in lines[1:]:
+        t = rec.get("type")
+        expect(t in ("counter", "histogram", "fault_site"),
+               f"unknown record type {t!r}")
+        if t == "counter":
+            expect(isinstance(rec.get("value"), int), "non-integer counter")
+        if t == "fault_site":
+            expect(rec["total"] == rec["crash"] + rec["infinite"] + rec["completed"],
+                   "fault_site total != class sum")
+elif kind == "trace":
+    doc = json.load(open(path))
+    expect(doc.get("schema") == "etap-trace/1",
+           f"bad schema marker {doc.get('schema')!r}")
+    evs = doc.get("traceEvents")
+    expect(isinstance(evs, list) and evs, "missing/empty traceEvents")
+    for e in evs:
+        expect(e.get("ph") in ("X", "M"), f"unexpected phase {e.get('ph')!r}")
+        if e["ph"] == "X":
+            expect(isinstance(e.get("ts"), (int, float)) and e["ts"] >= 0,
+                   "complete event without non-negative ts")
+            expect(isinstance(e.get("dur"), (int, float)) and e["dur"] >= 0,
+                   "complete event without non-negative dur")
+elif kind == "report":
+    doc = json.load(open(path))
+    expect(doc.get("schema") == "etap-report/1",
+           f"bad schema marker {doc.get('schema')!r}")
+    expect(isinstance(doc.get("tables"), list) and doc["tables"],
+           "missing/empty tables")
+    for t in doc["tables"]:
+        keys = [c["key"] for c in t["columns"]]
+        for row in t["rows"]:
+            expect(list(row.keys()) == keys,
+                   f"table {t['id']}: row keys diverge from columns")
+else:
+    fail(f"unknown kind {kind!r}")
+
+print(f"{path}: {kind} schema OK")
+EOF

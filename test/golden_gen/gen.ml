@@ -71,6 +71,36 @@ let campaign_dump ~jobs =
        (Core.Campaign.infinite s) (Core.Campaign.completed s));
   Buffer.contents buf
 
+(* Fault-site attribution profile for susan at quick scale, and the
+   redacted metrics stream of the same campaign. Both come from the obs
+   sink, so they freeze the telemetry layer's deterministic content:
+   counter totals, site tallies and histogram counts (wall-clock-derived
+   fields are nulled by [redact_volatile]). *)
+let profile_susan ~render =
+  let l =
+    match Apps.Registry.find "susan" with
+    | Some app -> Harness.Experiment.load ~seed:1 app
+    | None -> failwith "susan not registered"
+  in
+  let sink = Obs.make () in
+  let p =
+    Obs.with_sink sink (fun () ->
+        Harness.Profile.run ~errors:2 ~trials:8 ~seed:41 ~jobs:1
+          ~mode:Harness.Experiment.Full l)
+  in
+  if render then Harness.Profile.render ~top:10 p
+  else
+    String.concat "\n"
+      (Obs.metrics_lines ~redact_volatile:true ~command:"profile"
+         ~meta:
+           [
+             ("app", Report.Json.Str "susan");
+             ("errors", Report.Json.Int 2);
+             ("trials", Report.Json.Int 8);
+             ("seed", Report.Json.Int 41);
+           ]
+         (Obs.view sink))
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
   let loaded =
@@ -94,4 +124,6 @@ let () =
           [ List.hd loaded ]));
   let d1 = campaign_dump ~jobs:1 and d4 = campaign_dump ~jobs:4 in
   if d1 <> d4 then failwith "campaign dump differs between jobs=1 and jobs=4";
-  write dir "campaign_gcd.txt" d1
+  write dir "campaign_gcd.txt" d1;
+  write dir "profile_susan.txt" (profile_susan ~render:true);
+  write dir "metrics_susan.txt" (profile_susan ~render:false)
