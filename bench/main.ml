@@ -230,13 +230,29 @@ let run_checkpoint ~quick ?jobs () : ckpt_cell list =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the platform itself.                   *)
 
-let micro () : (string * float) list =
+let micro () : (string * float * float option) list =
   section "Micro-benchmarks (Bechamel)";
   let open Bechamel in
   let susan = (Apps.Susan.app.Apps.App.build ~seed:1).Apps.App.prog in
   let code = Sim.Code.of_prog susan in
   let mcf = (Apps.Mcf.app.Apps.App.build ~seed:1).Apps.App.prog in
   let mcf_code = Sim.Code.of_prog mcf in
+  let adpcm_code =
+    Sim.Code.of_prog (Apps.Adpcm.app.Apps.App.build ~seed:1).Apps.App.prog
+  in
+  let gsm_code =
+    Sim.Code.of_prog (Apps.Gsm.app.Apps.App.build ~seed:1).Apps.App.prog
+  in
+  (* Dynamic instruction count per workload, read back through the
+     sim.instructions obs counter so the derived throughput column
+     measures exactly what the engines report. *)
+  let dyn_of c =
+    let sink = Obs.make () in
+    ignore (Obs.with_sink sink (fun () -> Sim.Interp.run_exn c));
+    match List.assoc_opt "sim.instructions" (Obs.view sink).Obs.counters with
+    | Some n -> Some (float n)
+    | None -> None
+  in
   let gcd_src =
     let open Mlang.Dsl in
     program []
@@ -251,22 +267,44 @@ let micro () : (string * float) list =
           ];
       ]
   in
+  (* The interp micros run the fast (threaded-closure) engine — the
+     engine campaigns use by default; interp-ref micros keep the
+     reference match-dispatch loop on the table for the cross-engine
+     trajectory. *)
+  let interp name c =
+    let image = Sim.Interp.compile c in
+    (Test.make ~name
+       (Staged.stage (fun () -> ignore (Sim.Interp.run_exn ~image c))),
+     dyn_of c)
+  in
+  let interp_ref name c =
+    (Test.make ~name
+       (Staged.stage (fun () -> ignore (Sim.Interp.run_exn c))),
+     dyn_of c)
+  in
+  let plain t = (t, None) in
   let tests =
     [
-      Test.make ~name:"interp: susan (630k instrs)"
-        (Staged.stage (fun () -> ignore (Sim.Interp.run_exn code)));
-      Test.make ~name:"interp: mcf (100k instrs)"
-        (Staged.stage (fun () -> ignore (Sim.Interp.run_exn mcf_code)));
-      Test.make ~name:"tagging: susan (full)"
-        (Staged.stage (fun () ->
-             ignore (Core.Tagging.compute ~protect_addresses:true susan)));
-      Test.make ~name:"tagging: susan (literal)"
-        (Staged.stage (fun () ->
-             ignore (Core.Tagging.compute ~protect_addresses:false susan)));
-      Test.make ~name:"compile: mlang gcd"
-        (Staged.stage (fun () -> ignore (Mlang.Compile.to_ir gcd_src)));
-      Test.make ~name:"decode: susan"
-        (Staged.stage (fun () -> ignore (Sim.Code.of_prog susan)));
+      interp "interp: susan (630k instrs)" code;
+      interp "interp: mcf (100k instrs)" mcf_code;
+      interp "interp: adpcm (160k instrs)" adpcm_code;
+      interp "interp: gsm (1.2M instrs)" gsm_code;
+      interp_ref "interp-ref: susan (630k instrs)" code;
+      interp_ref "interp-ref: mcf (100k instrs)" mcf_code;
+      plain
+        (Test.make ~name:"tagging: susan (full)"
+           (Staged.stage (fun () ->
+                ignore (Core.Tagging.compute ~protect_addresses:true susan))));
+      plain
+        (Test.make ~name:"tagging: susan (literal)"
+           (Staged.stage (fun () ->
+                ignore (Core.Tagging.compute ~protect_addresses:false susan))));
+      plain
+        (Test.make ~name:"compile: mlang gcd"
+           (Staged.stage (fun () -> ignore (Mlang.Compile.to_ir gcd_src))));
+      plain
+        (Test.make ~name:"decode: susan"
+           (Staged.stage (fun () -> ignore (Sim.Code.of_prog susan))));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -276,22 +314,54 @@ let micro () : (string * float) list =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  List.concat_map
-    (fun test ->
-      List.map
-        (fun elt ->
-          let raw = Benchmark.run cfg [ instance ] elt in
-          let est = Analyze.one ols instance raw in
-          let ns =
-            match Analyze.OLS.estimates est with
-            | Some [ t ] -> t
-            | Some _ | None -> nan
-          in
-          say "  %-32s %14.1f ns/run  (%.3f ms)" (Test.Elt.name elt) ns
-            (ns /. 1e6);
-          (Test.Elt.name elt, ns))
-        (Test.elements test))
-    tests
+  let results =
+    List.concat_map
+      (fun (test, dyn) ->
+        List.map
+          (fun elt ->
+            let raw = Benchmark.run cfg [ instance ] elt in
+            let est = Analyze.one ols instance raw in
+            let ns =
+              match Analyze.OLS.estimates est with
+              | Some [ t ] -> t
+              | Some _ | None -> nan
+            in
+            (* instrs / (ns * 1e-9) / 1e6 = instrs / ns * 1e3 *)
+            let mips =
+              match dyn with
+              | Some d when Float.is_finite ns && ns > 0.0 ->
+                Some (d /. ns *. 1e3)
+              | _ -> None
+            in
+            say "  %-32s %14.1f ns/run  (%.3f ms)%s" (Test.Elt.name elt) ns
+              (ns /. 1e6)
+              (match mips with
+               | Some m -> Printf.sprintf "  %8.1f Minstr/s" m
+               | None -> "");
+            (Test.Elt.name elt, ns, mips))
+          (Test.elements test))
+      tests
+  in
+  (* Engine regression guard: the threaded engine must never come out
+     slower than the reference loop on the susan micro. A violation is
+     a build/perf regression and fails the bench run (and CI's
+     bench-smoke job) loudly. *)
+  let ns_of name =
+    List.find_map
+      (fun (n, ns, _) -> if n = name then Some ns else None)
+      results
+  in
+  (match (ns_of "interp: susan (630k instrs)",
+          ns_of "interp-ref: susan (630k instrs)") with
+   | Some fast, Some ref_ns
+     when Float.is_finite fast && Float.is_finite ref_ns && fast > ref_ns ->
+     failwith
+       (Printf.sprintf
+          "engine regression: fast interp slower than ref on susan \
+           (%.0f ns/run > %.0f ns/run)"
+          fast ref_ns)
+   | _ -> ());
+  results
 
 (* ------------------------------------------------------------------ *)
 (* JSON report: per-experiment wall times and micro ns/run, so future
@@ -358,8 +428,26 @@ let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~total :
     [
       timing_table ~id:"experiments" ~title:"Experiment wall times"
         ~key:"wall_s" ~unit:"wall_s" experiments;
-      timing_table ~id:"micro" ~title:"Micro-benchmarks" ~key:"ns_per_run"
-        ~unit:"ns_per_run" micro;
+      Report.table ~id:"micro" ~title:"Micro-benchmarks"
+        ~columns:
+          [
+            Report.column ~key:"name" "name";
+            Report.column ~key:"ns_per_run" "ns_per_run";
+            Report.column ~key:"minstr_per_s" "minstr_per_s";
+          ]
+        (List.map
+           (fun (name, ns, mips) ->
+             let ns = round3 ns in
+             [
+               Report.text name;
+               Report.num ~text:(Printf.sprintf "%.3f" ns) ns;
+               (match mips with
+                | Some m ->
+                  let m = round3 m in
+                  Report.num ~text:(Printf.sprintf "%.1f" m) m
+                | None -> Report.text "-");
+             ])
+           micro);
       checkpoint_table;
     ]
 

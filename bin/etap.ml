@@ -43,6 +43,15 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let engine_arg =
+  let e = Arg.enum [ ("fast", Sim.Interp.Fast); ("ref", Sim.Interp.Ref) ] in
+  let doc =
+    "Interpreter engine for trial execution: $(b,fast) (threaded-closure \
+     compilation, the default) or $(b,ref) (the reference match-dispatch \
+     loop). Both engines produce bit-identical campaign results."
+  in
+  Arg.(value & opt e Sim.Interp.Fast & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let literal_arg =
   let doc =
     "Use the paper's literal Section-3 tagging rules (addresses \
@@ -229,8 +238,8 @@ let disasm_cmd =
     Term.(term_result (const action $ app_arg $ func_arg $ seed_arg))
 
 let inject_cmd =
-  let action name seed errors trials literal jobs checkpoint_stride json trace
-      metrics =
+  let action name seed errors trials literal engine jobs checkpoint_stride
+      json trace metrics =
     Result.map
       (fun (app : Apps.App.t) ->
         let meta =
@@ -240,24 +249,27 @@ let inject_cmd =
             meta_int "trials" trials;
             meta_int "seed" seed;
             ("literal", Report.Json.Bool literal);
+            ("engine", Report.Json.Str (Sim.Interp.engine_name engine));
             meta_jobs jobs;
             ("checkpoint_stride", Report.Json.of_int_opt checkpoint_stride);
           ]
         in
         with_obs ~trace ~metrics ~command:"inject" ~meta @@ fun () ->
-        let b = app.Apps.App.build ~seed in
-        let target =
-          Core.Campaign.of_prog ~protect_addresses:(not literal)
-            b.Apps.App.prog
+        let l =
+          Harness.Experiment.load ~seed ?jobs ~engine ?checkpoint_stride app
         in
+        let mode =
+          if literal then Harness.Experiment.Literal
+          else Harness.Experiment.Full
+        in
+        let b = l.Harness.Experiment.built in
+        let target = l.Harness.Experiment.target mode in
         let golden = target.Core.Campaign.baseline in
         let score r = b.Apps.App.score ~golden r in
         let summaries =
           List.map
             (fun policy ->
-              let p =
-                Core.Campaign.prepare ?checkpoint_stride target policy
-              in
+              let p = l.Harness.Experiment.prepared mode policy in
               let s =
                 Core.Campaign.run ?jobs ~score p ~errors ~trials
                   ~seed:(seed + 100)
@@ -328,6 +340,7 @@ let inject_cmd =
                    meta_int "trials" trials;
                    meta_int "seed" seed;
                    ("literal", Report.Json.Bool literal);
+                   ("engine", Report.Json.Str (Sim.Interp.engine_name engine));
                    meta_jobs jobs;
                    ( "checkpoint_stride",
                      Report.Json.of_int_opt checkpoint_stride );
@@ -342,8 +355,8 @@ let inject_cmd =
     Term.(
       term_result
         (const action $ app_arg $ seed_arg $ errors_arg $ trials_arg
-       $ literal_arg $ jobs_arg $ stride_arg $ json_arg $ trace_arg
-       $ metrics_arg))
+       $ literal_arg $ engine_arg $ jobs_arg $ stride_arg $ json_arg
+       $ trace_arg $ metrics_arg))
 
 let asm_cmd =
   let file_arg =

@@ -24,6 +24,9 @@ type target = {
       (* prototype trial image: globals laid out once; per-trial
          memories are blit-copies of this, never rebuilt from the
          globals list *)
+  engine : Sim.Interp.engine;
+      (* which interpreter executes trials; the fast engine compiles a
+         per-policy closure image at [prepare] time *)
 }
 
 type prepared = {
@@ -35,6 +38,9 @@ type prepared = {
   snapshots : Sim.Snapshot.t option;
       (* golden checkpoints for fork-from-prefix trials; [None] when
          checkpointing is disabled ([~checkpoint_stride:0]) *)
+  image : Sim.Interp.image option;
+      (* threaded-closure compilation of (code, tags) for the fast
+         engine; [None] iff the target runs the reference engine *)
 }
 
 type trial = {
@@ -67,12 +73,15 @@ let timeout_factor = 10
 
 (* [lenient] defaults to true: the paper ran on SimpleScalar sim-safe,
    whose sparse memory does not fault wild accesses. *)
-let of_prog ?protect_addresses ?(lenient = true) (prog : Ir.Prog.t) =
+let of_prog ?protect_addresses ?(lenient = true)
+    ?(engine = Sim.Interp.Fast) (prog : Ir.Prog.t) =
   let code = Sim.Code.of_prog prog in
   let tagging = Tagging.compute ?protect_addresses prog in
+  (* The baseline profiles exec counts, which only the reference engine
+     supports — engine choice applies to trials, not to this run. *)
   let baseline = Sim.Interp.run_exn ~count_exec:true code in
   let proto = Sim.Memory.of_prog ~lenient prog in
-  { code; tagging; baseline; lenient; proto }
+  { code; tagging; baseline; lenient; proto; engine }
 
 (* The injectable pool needs no profiling interpretation: the baseline
    already counted every dynamic execution, and the fault hook fires
@@ -98,6 +107,14 @@ let prepare ?checkpoint_stride (t : target) (policy : Policy.t) =
   let tags = Tagging.mask t.tagging policy in
   let injectable_total = injectable_pool t tags in
   let budget = timeout_factor * t.baseline.Sim.Interp.dyn_count in
+  (* Fast engine: compile the (code, tags) pair once per prepared
+     policy; every trial and the checkpointing pass below reuse the
+     closure image. *)
+  let image =
+    match t.engine with
+    | Sim.Interp.Fast -> Some (Sim.Interp.compile ~tags t.code)
+    | Sim.Interp.Ref -> None
+  in
   (* Golden checkpointing pass: one fault-free interpretation under the
      policy's tag mask, recording a snapshot every [stride] injectable
      ordinals. Costs what the retired profiling run used to cost, and
@@ -116,7 +133,7 @@ let prepare ?checkpoint_stride (t : target) (policy : Policy.t) =
     in
     Option.map
       (fun stride ->
-        Sim.Snapshot.build ~stride ~tags ~budget
+        Sim.Snapshot.build ~stride ~tags ?image ~budget
           ~memory:(Sim.Memory.copy t.proto) t.code)
       stride
   in
@@ -130,7 +147,7 @@ let prepare ?checkpoint_stride (t : target) (policy : Policy.t) =
         ]
       t0
   end;
-  { target = t; policy; tags; injectable_total; budget; snapshots }
+  { target = t; policy; tags; injectable_total; budget; snapshots; image }
 
 (* One trial's raw simulator result, plus the dynamic instructions a
    checkpoint restore let it skip (0 when it ran from scratch). Taint
@@ -151,7 +168,7 @@ let run_trial_raw ?(taint = false) (p : prepared) ~errors ~rng :
        to the last checkpoint and replays only the tail. *)
     let first = Hashtbl.fold (fun o _ acc -> min o acc) plan max_int in
     let snap = Sim.Snapshot.nearest snaps ~ordinal:first in
-    let m = Sim.Interp.resume ~injection snap in
+    let m = Sim.Interp.resume ?image:p.image ~injection snap in
     let skipped = Sim.Interp.snapshot_dyn snap in
     if Obs.enabled () then begin
       (* snapshot.* telemetry is stride-dependent by nature (how much
@@ -166,7 +183,11 @@ let run_trial_raw ?(taint = false) (p : prepared) ~errors ~rng :
     (Sim.Interp.finish m, skipped)
   | _ ->
     if Obs.enabled () then Obs.count "snapshot.miss" 1;
-    ( Sim.Interp.run ~injection ~budget:p.budget ~taint
+    (* Taint trials stay on the reference loop (the shadow twin is not
+       compiled), so the image is withheld there. *)
+    ( Sim.Interp.run
+        ?image:(if taint then None else p.image)
+        ~injection ~budget:p.budget ~taint
         ~memory:(Sim.Memory.copy p.target.proto) p.target.code,
       0 )
 

@@ -25,6 +25,9 @@ type target = {
   proto : Sim.Memory.t;
       (** prototype trial image: globals laid out once, per-trial
           memories are blit-copies *)
+  engine : Sim.Interp.engine;
+      (** which interpreter executes trials (default [Fast]); the
+          baseline and taint trials always use the reference loop *)
 }
 
 type prepared = {
@@ -38,6 +41,9 @@ type prepared = {
   snapshots : Sim.Snapshot.t option;
       (** golden checkpoints for fork-from-prefix trials; [None] iff
           checkpointing was disabled *)
+  image : Sim.Interp.image option;
+      (** threaded-closure compilation of (code, tags) for the fast
+          engine; [None] iff the target runs the reference engine *)
 }
 
 type trial = {
@@ -69,9 +75,16 @@ type summary = {
 val timeout_factor : int
 
 val of_prog :
-  ?protect_addresses:bool -> ?lenient:bool -> Ir.Prog.t -> target
+  ?protect_addresses:bool ->
+  ?lenient:bool ->
+  ?engine:Sim.Interp.engine ->
+  Ir.Prog.t ->
+  target
 (** Compile, tag and run the fault-free baseline. [lenient] defaults to
-    [true] — the SimpleScalar sim-safe memory model the paper used. *)
+    [true] — the SimpleScalar sim-safe memory model the paper used.
+    [engine] (default [Fast]) selects the trial interpreter; both
+    engines produce bit-identical summaries (the differential suite in
+    [test_engine] pins this). *)
 
 val prepare : ?checkpoint_stride:int -> target -> Policy.t -> prepared
 (** Size the injectable pool (arithmetically, from the baseline's exec

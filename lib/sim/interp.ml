@@ -15,26 +15,34 @@
    consumed with a monotone cursor: ordinals are assigned in increasing
    order, so "is this ordinal planned?" is a single integer compare
    against the next pending entry instead of a hash probe on every
-   injectable execution — the dominant cost of a campaign, since plans
-   hold only a handful of entries while injectable executions number in
-   the hundreds of thousands.
+   injectable execution.
 
-   The plain execution path is an *explicit machine*: a frame stack of
-   {fid; pc; iregs; fregs} plus the dynamic counters, driven by a flat
-   dispatch loop instead of host-stack recursion. That makes the full
-   architectural state a first-class value, so execution can pause at
+   Execution is an *explicit machine* (see Machine): a frame stack of
+   {fid; pc; iregs; fregs} plus the dynamic counters, so the full
+   architectural state is a first-class value — execution can pause at
    any injectable-ordinal boundary, be captured into an immutable
-   [snapshot], and resume later — the basis of checkpointed
-   fork-from-prefix campaigns (see Snapshot and Core.Campaign). A side
-   benefit: trap provenance falls out of the head frame's [pc] instead
-   of a try/with per trapping instruction, so the hot loop carries no
-   per-instruction handler set-up.
+   [snapshot], and resume later, the basis of checkpointed
+   fork-from-prefix campaigns (see Snapshot and Core.Campaign).
+
+   Two engines drive that machine:
+   - the *reference* engine is the match-dispatch loop below ([exec]):
+     one [Code.d] match per dynamic instruction, easy to audit against
+     the semantics;
+   - the *fast* engine (Threaded) pre-compiles each function body into
+     a flat array of specialized closures with direct threading, and is
+     selected by building the machine from a compiled [image].
+   Both engines produce bit-identical results — trial records,
+   outcomes, trap sites, landed-fault attribution, snapshots — which
+   the differential suite in test_engine pins on random programs.
 
    Taint mode keeps the original recursive twin ([call_t] below): it
-   threads per-frame shadow state through the host stack and is not
-   snapshotable — audit campaigns run from scratch. *)
+   threads per-frame shadow state through the host stack, is engine-
+   independent and not snapshotable — audit campaigns run from
+   scratch. *)
 
-type injection = {
+open Machine
+
+type injection = Machine.injection = {
   tags : bool array array;  (* fid -> body index -> injectable *)
   plan_ords : int array;    (* planned ordinals, strictly increasing *)
   plan_bits : int array;    (* bit to flip, parallel to [plan_ords] *)
@@ -78,259 +86,41 @@ type result = {
          classification of this run *)
 }
 
-exception Timeout_exn
+exception Timeout_exn = Machine.Timeout_exn
 
-let max_call_depth = 4096
+let max_call_depth = Machine.max_call_depth
 
-let sx32 = Value.sx32
+(* ---------------------------- engines ---------------------------- *)
 
-let binop_i (op : Ir.Instr.binop) a b =
-  match op with
-  | Add -> sx32 (a + b)
-  | Sub -> sx32 (a - b)
-  | Mul -> sx32 (a * b)
-  | Div ->
-    if b = 0 then raise (Trap.Error Trap.Division_by_zero) else sx32 (a / b)
-  | Rem ->
-    if b = 0 then raise (Trap.Error Trap.Division_by_zero) else sx32 (a mod b)
-  | And -> a land b
-  | Or -> a lor b
-  | Xor -> a lxor b
-  | Sll -> sx32 (a lsl (b land 31))
-  | Srl -> sx32 ((a land 0xFFFFFFFF) lsr (b land 31))
-  | Sra -> a asr (b land 31)
+type engine =
+  | Fast
+  | Ref
 
-let cmp_i (op : Ir.Instr.cmpop) a b =
-  match op with
-  | Eq -> a = b
-  | Ne -> a <> b
-  | Lt -> a < b
-  | Le -> a <= b
-  | Gt -> a > b
-  | Ge -> a >= b
+let engine_name = function Fast -> "fast" | Ref -> "ref"
 
-let binop_f (op : Ir.Instr.fbinop) a b =
-  match op with
-  | Fadd -> a +. b
-  | Fsub -> a -. b
-  | Fmul -> a *. b
-  | Fdiv -> a /. b  (* IEEE: yields inf/nan, no trap *)
+type image = Machine.image
 
-let unop_f (op : Ir.Instr.funop) a =
-  match op with Fneg -> -.a | Fabs -> Float.abs a | Fsqrt -> Float.sqrt a
+let compile = Threaded.compile
 
-let cmp_f (op : Ir.Instr.cmpop) (a : float) (b : float) =
-  match op with
-  | Eq -> a = b
-  | Ne -> a <> b
-  | Lt -> a < b
-  | Le -> a <= b
-  | Gt -> a > b
-  | Ge -> a >= b
+type machine = Machine.t
 
-let f2i (x : float) =
-  if Float.is_nan x || x >= 2147483648.0 || x < -2147483648.0 then
-    raise (Trap.Error (Trap.Float_to_int_overflow x));
-  int_of_float (Float.trunc x)
+let machine ?image ?injection ?lenient ?budget ?count_exec ?memory code :
+    machine =
+  Machine.make ?image ?injection ?lenient ?budget ?count_exec ?memory code
 
-let no_counts : int array = [||]
-let no_tags : bool array = [||]
-
-(* ---------------------------- machine ---------------------------- *)
-
-(* One activation record. [pc] always holds the body index of the
-   instruction currently (or next) being dispatched, so trap provenance
-   and snapshot/resume both read it directly. While a callee runs, the
-   caller's [pc] stays parked on its DCall — return write-back and the
-   post-call resume point are recovered from it. *)
-type frame = {
-  fid : int;
-  mutable pc : int;
-  iregs : int array;
-  fregs : float array;
-}
-
-type status =
-  | Running
-  | Done_ of Value.t option
-  | Trapped_ of Trap.t * (int * int) option  (* trap, (fid, pc) site *)
-  | Timeout_
-
-type machine = {
-  code : Code.t;
-  memory : Memory.t;
-  budget : int;
-  count_exec : bool;
-  exec_counts : int array array;
-  all_tags : bool array array;
-  has_injection : bool;
-  plan_ords : int array;
-  plan_bits : int array;
-  mutable cursor : int;
-  mutable next_planned : int;  (* smallest pending ordinal, max_int when done *)
-  mutable dyn : int;
-  mutable inj_seen : int;
-  mutable landed : int;
-  land_fids : int array;  (* fid of landing [i], parallel to the plan *)
-  land_pcs : int array;
-  mutable cur_fid : int;
-      (* fid of the frame the dispatch loop is executing in — the
-         landing-site attribution for the next fault. Synced when the
-         head frame changes and on return write-back. *)
-  mutable stack : frame list;  (* innermost frame first; never empty while Running *)
-  mutable depth : int;         (* depth of the head frame; entry frame is 0 *)
-  mutable status : status;
-}
-
-let fresh_frame (code : Code.t) fid =
-  let df = code.Code.funcs.(fid) in
-  {
-    fid;
-    pc = 0;
-    iregs = Array.make (max df.Code.n_int 1) 0;
-    fregs = Array.make (max df.Code.n_flt 1) 0.0;
-  }
-
-let machine ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
-    ?memory (code : Code.t) : machine =
-  let memory =
-    match memory with
-    | Some mem -> mem
-    | None -> Memory.of_prog ?lenient code.Code.prog
-  in
-  (* Per-function execution counters are only materialized when
-     requested: campaigns run hundreds of trials per prepared target
-     and none of them profiles. *)
-  let exec_counts =
-    if count_exec then
-      Array.map
-        (fun (df : Code.dfunc) -> Array.make (Array.length df.Code.dbody) 0)
-        code.Code.funcs
-    else [||]
-  in
-  let plan_ords, plan_bits =
-    match (injection : injection option) with
-    | Some { plan_ords; plan_bits; _ } -> (plan_ords, plan_bits)
-    | None -> (no_counts, no_counts)
-  in
-  let all_tags =
-    match (injection : injection option) with
-    | Some { tags; _ } -> tags
-    | None -> [||]
-  in
-  {
-    code;
-    memory;
-    budget;
-    count_exec;
-    exec_counts;
-    all_tags;
-    has_injection = Array.length all_tags > 0;
-    plan_ords;
-    plan_bits;
-    cursor = 0;
-    next_planned =
-      (if Array.length plan_ords > 0 then plan_ords.(0) else max_int);
-    dyn = 0;
-    inj_seen = 0;
-    landed = 0;
-    land_fids = Array.make (Array.length plan_ords) 0;
-    land_pcs = Array.make (Array.length plan_ords) 0;
-    cur_fid = code.Code.entry_fid;
-    stack = [ fresh_frame code code.Code.entry_fid ];
-    depth = 0;
-    status = Running;
-  }
-
-let advance_plan m =
-  let c = m.cursor + 1 in
-  m.cursor <- c;
-  m.next_planned <-
-    (if c < Array.length m.plan_ords then Array.unsafe_get m.plan_ords c
-     else max_int);
-  m.landed <- m.landed + 1;
-  Array.unsafe_get m.plan_bits (c - 1)
-
-(* Landing-site record: (fid, pc) per plan entry, written into arrays
-   preallocated at plan length — no allocation on the landing path, and
-   plans hold only a handful of entries. *)
-let record_land m pc =
-  m.land_fids.(m.landed - 1) <- m.cur_fid;
-  m.land_pcs.(m.landed - 1) <- pc
-
-(* Fault hooks: called with the body index of the defining instruction
-   and the freshly computed value, on every value-producing write-back
-   (including call-return write-back, attributed to the DCall). *)
-let inject_i m ftags pc v =
-  if m.has_injection && Array.unsafe_get ftags pc then begin
-    let ord = m.inj_seen in
-    m.inj_seen <- ord + 1;
-    if ord = m.next_planned then begin
-      let bit = advance_plan m in
-      record_land m pc;
-      Value.flip_int ~bit:(bit land 31) v
-    end
-    else v
-  end
-  else v
-
-let inject_f m ftags pc x =
-  if m.has_injection && Array.unsafe_get ftags pc then begin
-    let ord = m.inj_seen in
-    m.inj_seen <- ord + 1;
-    if ord = m.next_planned then begin
-      let bit = advance_plan m in
-      record_land m pc;
-      Value.flip_float ~bit:(bit land 63) x
-    end
-    else x
-  end
-  else x
-
-(* Pop the head frame and deliver [v] to its caller (or halt when it
-   was the entry frame). Return write-back runs the injection hook at
-   the caller's DCall, exactly where the recursive interpreter ran it,
-   then steps the caller past the call. *)
-let return m (v : Value.t option) =
-  match m.stack with
-  | [] -> assert false
-  | [ _ ] -> m.status <- Done_ v
-  | _ :: (caller :: _ as rest) ->
-    m.stack <- rest;
-    m.depth <- m.depth - 1;
-    let df = m.code.Code.funcs.(caller.fid) in
-    m.cur_fid <- caller.fid;
-    (match df.Code.dbody.(caller.pc) with
-     | Code.DCall c ->
-       (if c.Code.dst >= 0 then
-          let ftags =
-            if m.has_injection then m.all_tags.(caller.fid) else no_tags
-          in
-          match v with
-          | Some (Value.I x) when not c.Code.dst_flt ->
-            caller.iregs.(c.Code.dst) <- inject_i m ftags caller.pc x
-          | Some (Value.F x) when c.Code.dst_flt ->
-            caller.fregs.(c.Code.dst) <- inject_f m ftags caller.pc x
-          | _ -> invalid_arg "return bank mismatch at runtime");
-       caller.pc <- caller.pc + 1
-     | _ -> assert false)
-
-exception Pause_exn
-
-let is_running m = match m.status with Running -> true | _ -> false
-
-(* The dispatch loop. Executes until the machine halts, or pauses as
-   soon as [pause_at] injectable ordinals have been seen — the pause
-   check sits at the top of dispatch and ordinals advance by at most
-   one per dispatched instruction, so a pause lands exactly at ordinal
-   [pause_at] (before any ordinal >= pause_at is consumed).
+(* The reference dispatch loop. Executes until the machine halts, or
+   pauses as soon as [m.pause_at] injectable ordinals have been seen —
+   the pause check sits at the top of dispatch and ordinals advance by
+   at most one per dispatched instruction, so a pause lands exactly at
+   ordinal [pause_at] (before any ordinal >= pause_at is consumed).
 
    The outer loop re-caches per-frame state (body, registers, tag row,
    counter row) whenever a call or return switches the head frame; the
    inner [loop] is a tail-recursive hot path over one frame. *)
-let exec m ~pause_at =
+let exec m =
   let funcs = m.code.Code.funcs in
   let memory = m.memory in
+  let pause_at = m.pause_at in
   while is_running m do
     let fr = match m.stack with fr :: _ -> fr | [] -> assert false in
     let df = Array.unsafe_get funcs fr.fid in
@@ -451,15 +241,17 @@ let exec m ~pause_at =
 let advance m ~pause_at : [ `Paused | `Halted ] =
   match m.status with
   | Running -> (
+    m.pause_at <- pause_at;
     try
-      exec m ~pause_at;
+      (if Array.length m.fast > 0 then Threaded.exec m else exec m);
       `Halted
     with
     | Pause_exn -> `Paused
     | Trap.Error t ->
-      (* The head frame's pc is synced at every dispatch, so it points
-         at the trapping instruction; traps raised inside a callee are
-         attributed innermost (the callee is the head frame). *)
+      (* The head frame's pc is synced at every observable point, so it
+         points at the trapping instruction; traps raised inside a
+         callee are attributed innermost (the callee is the head
+         frame). *)
       let site =
         match m.stack with fr :: _ -> Some (fr.fid, fr.pc) | [] -> None
       in
@@ -473,7 +265,8 @@ let advance m ~pause_at : [ `Paused | `Halted ] =
 (* Telemetry for one finished run. Cold path (once per run) and
    guarded by [Obs.enabled], so the dispatch loop stays oblivious to
    observability. Counter totals depend only on what the run executed,
-   never on scheduling — the jobs-invariance contract of lib/obs. *)
+   never on scheduling or engine — the jobs-invariance contract of
+   lib/obs extends to engine-invariance. *)
 let obs_run_counters ~dyn ~inj_seen ~landed ~outcome ~trap_site =
   if Obs.enabled () then begin
     Obs.count "sim.runs" 1;
@@ -524,85 +317,14 @@ let finish m : result =
 
 (* --------------------------- snapshots --------------------------- *)
 
-(* An immutable copy of a paused machine's full architectural state.
-   Snapshots are taken during a fault-free pass (no landed faults, no
-   partially consumed plan), so they carry no plan bookkeeping: resume
-   installs a fresh plan whose ordinals must all lie at or after the
-   snapshot's ordinal. Restore copies everything mutable, so one
-   snapshot can seed any number of trials concurrently — including
-   read-only sharing across domains. *)
-type snapshot = {
-  s_code : Code.t;
-  s_budget : int;
-  s_memory : Memory.t;
-  s_frames : frame array;  (* innermost first, like the live stack *)
-  s_depth : int;
-  s_dyn : int;
-  s_inj_seen : int;
-}
+type snapshot = Machine.snapshot
 
-let copy_frame fr =
-  { fr with iregs = Array.copy fr.iregs; fregs = Array.copy fr.fregs }
+let capture = Machine.capture
+let snapshot_ordinal = Machine.snapshot_ordinal
+let snapshot_dyn = Machine.snapshot_dyn
 
-let capture m : snapshot =
-  (match m.status with
-   | Running -> ()
-   | _ -> invalid_arg "Interp.capture: machine has halted");
-  if m.count_exec then
-    invalid_arg "Interp.capture: profiling machines are not snapshotable";
-  if m.landed > 0 then
-    invalid_arg "Interp.capture: snapshots must be fault-free";
-  {
-    s_code = m.code;
-    s_budget = m.budget;
-    s_memory = Memory.copy m.memory;
-    s_frames = Array.of_list (List.map copy_frame m.stack);
-    s_depth = m.depth;
-    s_dyn = m.dyn;
-    s_inj_seen = m.inj_seen;
-  }
-
-let snapshot_ordinal s = s.s_inj_seen
-let snapshot_dyn s = s.s_dyn
-
-let resume ?injection (s : snapshot) : machine =
-  let plan_ords, plan_bits =
-    match (injection : injection option) with
-    | Some { plan_ords; plan_bits; _ } -> (plan_ords, plan_bits)
-    | None -> (no_counts, no_counts)
-  in
-  if Array.length plan_ords > 0 && plan_ords.(0) < s.s_inj_seen then
-    invalid_arg "Interp.resume: plan ordinal precedes snapshot";
-  let all_tags =
-    match (injection : injection option) with
-    | Some { tags; _ } -> tags
-    | None -> [||]
-  in
-  {
-    code = s.s_code;
-    memory = Memory.copy s.s_memory;
-    budget = s.s_budget;
-    count_exec = false;
-    exec_counts = [||];
-    all_tags;
-    has_injection = Array.length all_tags > 0;
-    plan_ords;
-    plan_bits;
-    cursor = 0;
-    next_planned =
-      (if Array.length plan_ords > 0 then plan_ords.(0) else max_int);
-    dyn = s.s_dyn;
-    inj_seen = s.s_inj_seen;
-    landed = 0;
-    land_fids = Array.make (Array.length plan_ords) 0;
-    land_pcs = Array.make (Array.length plan_ords) 0;
-    cur_fid =
-      (if Array.length s.s_frames > 0 then s.s_frames.(0).fid
-       else s.s_code.Code.entry_fid);
-    stack = Array.to_list (Array.map copy_frame s.s_frames);
-    depth = s.s_depth;
-    status = Running;
-  }
+let resume ?image ?injection (s : snapshot) : machine =
+  Machine.restore ?image ?injection s
 
 (* ------------------------- taint twin run ------------------------- *)
 
@@ -939,14 +661,19 @@ let run_taint ?injection ?lenient ~budget ~count_exec ?memory (code : Code.t) :
         (Taint.summarize tr ~func_name:(fun f -> code.Code.funcs.(f).Code.name));
   }
 
-let run ?injection ?lenient ?(budget = 100_000_000) ?(count_exec = false)
-    ?(taint = false) ?memory (code : Code.t) : result =
-  if taint then run_taint ?injection ?lenient ~budget ~count_exec ?memory code
-  else finish (machine ?injection ?lenient ~budget ~count_exec ?memory code)
+let run ?image ?injection ?lenient ?(budget = Machine.default_budget)
+    ?(count_exec = false) ?(taint = false) ?memory (code : Code.t) : result =
+  if taint then begin
+    (match image with
+     | Some _ -> invalid_arg "Interp.run: taint mode requires the reference engine"
+     | None -> ());
+    run_taint ?injection ?lenient ~budget ~count_exec ?memory code
+  end
+  else finish (machine ?image ?injection ?lenient ~budget ~count_exec ?memory code)
 
 (* Fault-free execution, trusting the program: raises on trap/timeout. *)
-let run_exn ?lenient ?budget ?count_exec code =
-  let r = run ?lenient ?budget ?count_exec code in
+let run_exn ?image ?lenient ?budget ?count_exec code =
+  let r = run ?image ?lenient ?budget ?count_exec code in
   match r.outcome with
   | Done _ -> r
   | Trapped t -> failwith ("fault-free run trapped: " ^ Trap.to_string t)

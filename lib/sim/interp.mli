@@ -59,6 +59,39 @@ exception Timeout_exn
 
 val max_call_depth : int
 
+(** {1 Engines}
+
+    Two engines execute the same explicit machine. The {e reference}
+    engine is the match-dispatch loop — one [Code.d] match per dynamic
+    instruction, easy to audit. The {e fast} engine pre-compiles each
+    function body into a flat array of specialized closures (threaded
+    dispatch: operand indices, immediates, branch targets and
+    injectability tags resolved at compile time, control transfer by
+    direct tail call). Both produce bit-identical results — outcomes,
+    counters, trap sites, landed-fault attribution, snapshots — pinned
+    by the cross-engine differential suite in [test_engine].
+
+    Selection is by construction: a machine built from a compiled
+    {!image} runs fast; one built without runs on the reference
+    engine. *)
+
+type engine =
+  | Fast  (** threaded-closure dispatch (the default in campaigns) *)
+  | Ref   (** match-dispatch reference loop *)
+
+val engine_name : engine -> string
+
+type image
+(** A program compiled for the fast engine against one (code, tags)
+    pair. Immutable and safe to share across domains; compile once per
+    prepared campaign target, reuse for every trial. *)
+
+val compile : ?tags:bool array array -> Code.t -> image
+(** Compile every function body into its closure table. [tags]
+    (default: none) must be the exact mask later passed in the
+    {!injection} — the machine constructors enforce this by physical
+    equality. *)
+
 (** {1 Explicit machine}
 
     The plain interpreter is an explicit machine — a frame stack plus
@@ -72,6 +105,7 @@ type machine
 (** A paused or running execution. Mutable; single-owner. *)
 
 val machine :
+  ?image:image ->
   ?injection:injection ->
   ?lenient:bool ->
   ?budget:int ->
@@ -83,7 +117,11 @@ val machine :
     [memory] supplies a pre-built image (ownership transfers to the
     machine; [lenient] is then ignored — the image carries its own
     access model) instead of laying one out from the program's
-    globals. *)
+    globals. [image] selects the fast engine; it must have been
+    compiled from this [code] and with the same tag-mask array as
+    [injection] (physical equality), and is incompatible with
+    [count_exec] (profiling stays on the reference engine) — raises
+    [Invalid_argument] otherwise. *)
 
 val advance : machine -> pause_at:int -> [ `Halted | `Paused ]
 (** Execute until the machine halts, or pause as soon as [pause_at]
@@ -109,10 +147,13 @@ val capture : machine -> snapshot
     landed a fault — snapshots are taken on fault-free (golden)
     passes only. *)
 
-val resume : ?injection:injection -> snapshot -> machine
+val resume : ?image:image -> ?injection:injection -> snapshot -> machine
 (** A fresh machine restored from the snapshot, with a new plan.
     Raises [Invalid_argument] if the plan's first ordinal precedes the
-    snapshot's ordinal (that fault could never land). *)
+    snapshot's ordinal (that fault could never land). [image] selects
+    the fast engine for the resumed execution, with the same validity
+    rules as {!machine}; snapshots carry no engine state, so a capture
+    under one engine may resume under the other. *)
 
 val snapshot_ordinal : snapshot -> int
 (** Injectable ordinal at which the snapshot was taken. *)
@@ -122,6 +163,7 @@ val snapshot_dyn : snapshot -> int
     resumed trial skips. *)
 
 val run :
+  ?image:image ->
   ?injection:injection ->
   ?lenient:bool ->
   ?budget:int ->
@@ -136,8 +178,15 @@ val run :
     interpreter: identical architectural behaviour and fault landings,
     plus a {!Taint.summary} in [fault_flow]. The plain path pays
     nothing for the feature — taint mode is a separate (host-stack
-    recursive, non-snapshotable) loop. [memory] as in {!machine}. *)
+    recursive, non-snapshotable) loop, and is engine-independent:
+    passing [image] with [taint] raises [Invalid_argument]. [image]
+    and [memory] as in {!machine}. *)
 
 val run_exn :
-  ?lenient:bool -> ?budget:int -> ?count_exec:bool -> Code.t -> result
+  ?image:image ->
+  ?lenient:bool ->
+  ?budget:int ->
+  ?count_exec:bool ->
+  Code.t ->
+  result
 (** Like {!run} for fault-free execution: fails on trap or timeout. *)

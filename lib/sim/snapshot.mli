@@ -14,6 +14,7 @@ type t
 val build :
   stride:int ->
   tags:bool array array ->
+  ?image:Interp.image ->
   ?lenient:bool ->
   ?budget:int ->
   ?memory:Memory.t ->
@@ -25,7 +26,9 @@ val build :
     state at ordinal 0. Raises [Invalid_argument] if [stride <= 0];
     propagates traps or {!Interp.Timeout_exn} if the fault-free run
     itself fails ([Campaign] targets are validated by their baseline
-    first). [memory]/[lenient] as in {!Interp.machine}. *)
+    first). [image] runs the golden pass on the fast engine (it must
+    carry the same [tags] array); checkpoints are engine-independent.
+    [memory]/[lenient] as in {!Interp.machine}. *)
 
 val auto_stride : injectable_total:int -> image_bytes:int -> int
 (** Stride giving up to 64 evenly spaced checkpoints, backed off so the

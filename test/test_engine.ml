@@ -1,0 +1,429 @@
+(* Cross-engine differential suite: the threaded-closure fast engine
+   (Sim.Interp.compile + image machines) versus the reference
+   match-dispatch loop must be bit-identical on every observable —
+   outcome, dynamic and injectable counters, trap provenance,
+   landed-site attribution, the full memory image, campaign records
+   and fault flows — over random Mlang programs, random fault plans,
+   and pause/capture/resume at random ordinal boundaries.
+
+   The generator exercises every instruction class the compiler emits:
+   integer arithmetic and logic (including div/rem made golden-safe by
+   [|! 1] but fault-fragile), shifts, comparisons, if/while/for
+   control, word and byte loads/stores, float arithmetic with both
+   conversions, calls and recursion. Traps, timeouts and stack
+   overflow are reachable under injection (and directly, in the
+   directed cases below). *)
+
+open Mlang.Dsl
+
+(* ------------------------------------------------------------------ *)
+(* Random program generator.                                           *)
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+let rec gen_expr rng vars depth =
+  if depth = 0 then
+    match Random.State.int rng 4 with
+    | 0 -> i (Random.State.int rng 201 - 100)
+    | 1 | 2 -> v (pick rng vars)
+    | _ -> "buf".%(v (pick rng vars) &! i 7)
+  else
+    let a = gen_expr rng vars (depth - 1)
+    and b = gen_expr rng vars (depth - 1) in
+    match Random.State.int rng 12 with
+    | 0 -> a +! b
+    | 1 -> a -! b
+    | 2 -> a *! b
+    | 3 -> a /! (b |! i 1) (* odd divisor: golden-safe, fault-fragile *)
+    | 4 -> a %! (b |! i 1)
+    | 5 -> a &! b
+    | 6 -> a |! b
+    | 7 -> a ^! b
+    | 8 -> a <<! i (Random.State.int rng 8)
+    | 9 -> a >>>! i (Random.State.int rng 8)
+    | 10 -> a <! b
+    | _ -> neg a
+
+let gen_prog seed =
+  let rng = Random.State.make [| 0x9e3; seed |] in
+  let e vars d = gen_expr rng vars d in
+  let iters = 3 + Random.State.int rng 6 in
+  program
+    [
+      garray "out" 4;
+      garray "buf" 8;
+      garray_b "bytes" 8;
+      garray_f "fout" 2;
+    ]
+    [
+      fn "mix" [ p_int "a"; p_int "b" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          let_ "t0" (e [ "a"; "b" ] 2);
+          let_ "t1" (e [ "a"; "b"; "t0" ] 2);
+          when_ (v "t1" >! v "t0") [ sto "buf" (v "t0" &! i 7) (v "t1") ];
+          if_
+            (v "t0" <>! i 0)
+            [ ret (v "t1" %! v "t0") ]
+            [ ret (v "t1" +! v "a") ];
+        ];
+      fn "rdown" [ p_int "n" ] ~ret:(Some Mlang.Ast.TInt)
+        [
+          if_
+            (v "n" <=! i 0)
+            [ ret (i 0) ]
+            [ ret (i 1 +! call "rdown" [ v "n" -! i 1 ]) ];
+        ];
+      fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+        [
+          let_ "x" (i (1 + Random.State.int rng 50));
+          let_ "y" (i (1 + Random.State.int rng 50));
+          for_ "k" (i 0) (i iters)
+            [
+              set "x" (call "mix" [ v "x" +! v "k"; v "y" ]);
+              sto "buf" (v "k" &! i 7) (v "x" ^! v "k");
+              sto "bytes" (v "k" &! i 7) (v "x");
+              set "y" (v "y" +! "bytes".%(v "k" &! i 7));
+            ];
+          let_ "n" (i (2 + Random.State.int rng 5));
+          while_ (v "n" >! i 0)
+            [
+              set "y" (e [ "x"; "y"; "n" ] 2);
+              set "n" (v "n" -! i 1);
+            ];
+          let_ "fx" (i2f (v "x") /!. f 3.5);
+          let_ "fy" ((v "fx" *!. f 0.25) -!. i2f (v "n"));
+          sto "fout" (i 0) (v "fx" +!. v "fy");
+          sto "fout" (i 1) (v "fy" *!. f 4.0);
+          set "y" (v "y" +! f2i (v "fx") +! (v "fy" <! f 1000.0));
+          let_ "r" (call "rdown" [ i (3 + Random.State.int rng 5) ]);
+          sto "out" (i 0) (v "x");
+          sto "out" (i 1) (v "y");
+          sto "out" (i 2) (v "r");
+          sto "out" (i 3) ("buf".%(i 3) +! "buf".%(i 5));
+          ret (v "x" +! v "y");
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-program context: compiled code, densest tag mask, fast-engine
+   image, fault-free baseline (reference loop) and the campaign's
+   timeout budget. Cached per generator seed so the qcheck properties
+   do not recompile on every case. *)
+
+type ctx = {
+  prog : Ir.Prog.t;
+  code : Sim.Code.t;
+  tags : bool array array;
+  image : Sim.Interp.image;
+  total : int;  (* injectable pool size *)
+  budget : int;
+}
+
+let ctx_cache : (int, ctx) Hashtbl.t = Hashtbl.create 16
+
+let ctx_of_seed seed =
+  match Hashtbl.find_opt ctx_cache seed with
+  | Some c -> c
+  | None ->
+    let prog = Mlang.Compile.to_ir (gen_prog seed) in
+    let code = Sim.Code.of_prog prog in
+    let tagging = Core.Tagging.compute prog in
+    let tags = Core.Tagging.mask tagging Core.Policy.Protect_nothing in
+    let image = Sim.Interp.compile ~tags code in
+    let baseline =
+      Sim.Interp.run
+        ~injection:(Core.Fault_model.profiling_injection ~tags)
+        ~lenient:true code
+    in
+    let c =
+      {
+        prog;
+        code;
+        tags;
+        image;
+        total = baseline.Sim.Interp.injectable_seen;
+        budget =
+          Core.Campaign.timeout_factor * baseline.Sim.Interp.dyn_count;
+      }
+    in
+    Hashtbl.replace ctx_cache seed c;
+    c
+
+let outcome_str (r : Sim.Interp.result) =
+  match r.Sim.Interp.outcome with
+  | Sim.Interp.Done x ->
+    "done:" ^ Option.fold ~none:"()" ~some:Sim.Value.to_string x
+  | Sim.Interp.Trapped t ->
+    "trap:" ^ Sim.Trap.to_string t
+    ^ (match r.Sim.Interp.trap_site with
+       | Some (fname, pc) -> Printf.sprintf "@%s+%d" fname pc
+       | None -> "@?")
+  | Sim.Interp.Timeout -> "timeout"
+
+(* Full-result fingerprint: every observable the engines must agree
+   on, the memory image (word, byte and float globals) included. *)
+let fingerprint ctx (r : Sim.Interp.result) =
+  let ints name =
+    String.concat ","
+      (Array.to_list
+         (Array.map string_of_int
+            (Sim.Memory.read_global_ints r.Sim.Interp.memory ctx.prog name)))
+  in
+  let flts name =
+    String.concat ","
+      (Array.to_list
+         (Array.map (Printf.sprintf "%h")
+            (Sim.Memory.read_global_flts r.Sim.Interp.memory ctx.prog name)))
+  in
+  Printf.sprintf "%s/%d/%d/%d/[%s]/out=%s/buf=%s/bytes=%s/fout=%s"
+    (outcome_str r) r.Sim.Interp.dyn_count r.Sim.Interp.injectable_seen
+    r.Sim.Interp.faults_landed
+    (String.concat ";"
+       (Array.to_list
+          (Array.map
+             (fun (fname, pc) -> Printf.sprintf "%s+%d" fname pc)
+             r.Sim.Interp.landed_sites)))
+    (ints "out") (ints "buf") (ints "bytes") (flts "fout")
+
+let run_engine ctx ~engine plan =
+  let injection = Sim.Interp.injection ~tags:ctx.tags ~plan in
+  let image =
+    match engine with Sim.Interp.Fast -> Some ctx.image | Sim.Interp.Ref -> None
+  in
+  Sim.Interp.run ?image ~injection ~lenient:true ~budget:ctx.budget ctx.code
+
+let plan_of ctx ~seed ~errors =
+  let rng = Random.State.make [| 0x51de; seed; errors |] in
+  Hashtbl.fold
+    (fun o b acc -> (o, b) :: acc)
+    (Core.Fault_model.make_plan ~rng ~injectable_total:ctx.total ~errors)
+    []
+
+(* ------------------------------------------------------------------ *)
+(* Property: raw runs agree on random programs x random plans.         *)
+
+let run_differential =
+  QCheck.Test.make ~name:"fast == ref on random programs x random plans"
+    ~count:120
+    QCheck.(triple (int_bound 15) (int_bound 10_000) (int_range 0 12))
+    (fun (pseed, fseed, errors) ->
+      let ctx = ctx_of_seed pseed in
+      let plan = plan_of ctx ~seed:fseed ~errors in
+      fingerprint ctx (run_engine ctx ~engine:Sim.Interp.Ref plan)
+      = fingerprint ctx (run_engine ctx ~engine:Sim.Interp.Fast plan))
+
+(* Property: pause/capture/resume at a random ordinal boundary, in all
+   four engine pairings (snapshots carry no engine state, so a capture
+   under one engine resumes under the other). The plan is restricted
+   to ordinals at or past the pause point — capture is only legal on a
+   fault-free prefix. *)
+
+let pause_resume_cross =
+  QCheck.Test.make
+    ~name:"capture/resume at random boundaries, all engine pairings"
+    ~count:60
+    QCheck.(triple (int_bound 15) (int_bound 10_000) (int_range 0 8))
+    (fun (pseed, fseed, errors) ->
+      let ctx = ctx_of_seed pseed in
+      let p = Random.State.int (Random.State.make [| fseed |]) (ctx.total + 1) in
+      let plan =
+        List.filter (fun (o, _) -> o >= p) (plan_of ctx ~seed:fseed ~errors)
+      in
+      let injection = Sim.Interp.injection ~tags:ctx.tags ~plan in
+      let golden = fingerprint ctx (run_engine ctx ~engine:Sim.Interp.Ref plan) in
+      let image_of = function
+        | Sim.Interp.Fast -> Some ctx.image
+        | Sim.Interp.Ref -> None
+      in
+      List.for_all
+        (fun (cap_e, res_e) ->
+          let m =
+            Sim.Interp.machine ?image:(image_of cap_e) ~injection
+              ~lenient:true ~budget:ctx.budget ctx.code
+          in
+          let r =
+            match Sim.Interp.advance m ~pause_at:p with
+            | `Halted -> Sim.Interp.finish m
+            | `Paused ->
+              let s = Sim.Interp.capture m in
+              assert (Sim.Interp.snapshot_ordinal s = p);
+              Sim.Interp.finish
+                (Sim.Interp.resume ?image:(image_of res_e) ~injection s)
+          in
+          fingerprint ctx r = golden)
+        Sim.Interp.
+          [ (Ref, Ref); (Ref, Fast); (Fast, Ref); (Fast, Fast) ])
+
+(* ------------------------------------------------------------------ *)
+(* Campaign level: trial records — outcome, counters, landed faults,
+   fidelity, fault flow — identical between engine targets, for every
+   jobs x checkpoint-stride combination. *)
+
+let flow_str = function
+  | None -> "-"
+  | Some (s : Sim.Taint.summary) ->
+    Printf.sprintf "%s:%d:%d:%d:%d:%d:%s"
+      (Sim.Taint.flow_to_string s.Sim.Taint.flow)
+      s.Sim.Taint.control_free s.Sim.Taint.control_via_memory
+      s.Sim.Taint.address_hits s.Sim.Taint.trap_operand_hits
+      s.Sim.Taint.memory_hits
+      (match s.Sim.Taint.first_control with
+       | None -> "-"
+       | Some (fname, pc) -> Printf.sprintf "%s+%d" fname pc)
+
+let record_str (t : Core.Campaign.trial) =
+  Printf.sprintf "%d/%s/%d/%d/%d/%s/%s" t.Core.Campaign.index
+    (Core.Outcome.describe t.Core.Campaign.outcome)
+    t.Core.Campaign.dyn_count t.Core.Campaign.faults_planned
+    t.Core.Campaign.faults_landed
+    (match t.Core.Campaign.fidelity with
+     | None -> "-"
+     | Some x -> Printf.sprintf "%h" x)
+    (flow_str t.Core.Campaign.fault_flow)
+
+let campaign_records ?taint target ~stride ~jobs =
+  let p =
+    Core.Campaign.prepare ~checkpoint_stride:stride target
+      Core.Policy.Protect_nothing
+  in
+  let s = Core.Campaign.run ?taint ~jobs p ~errors:3 ~trials:8 ~seed:11 in
+  String.concat "|" (List.map record_str s.Core.Campaign.trials)
+
+let test_campaign_grid () =
+  let prog = (ctx_of_seed 3).prog in
+  let fast = Core.Campaign.of_prog ~engine:Sim.Interp.Fast prog in
+  let ref_ = Core.Campaign.of_prog ~engine:Sim.Interp.Ref prog in
+  let canonical = campaign_records ref_ ~stride:0 ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun stride ->
+          Alcotest.(check string)
+            (Printf.sprintf "ref jobs=%d stride=%d" jobs stride)
+            canonical
+            (campaign_records ref_ ~stride ~jobs);
+          Alcotest.(check string)
+            (Printf.sprintf "fast jobs=%d stride=%d" jobs stride)
+            canonical
+            (campaign_records fast ~stride ~jobs))
+        [ 0; 1; 3; 5 ])
+    [ 1; 2; 4 ]
+
+(* Taint trials always execute on the reference loop (the shadow twin
+   is not compiled), but a fast-engine target must still produce the
+   identical records and fault flows. *)
+let test_campaign_taint_flows () =
+  let prog = (ctx_of_seed 5).prog in
+  let fast = Core.Campaign.of_prog ~engine:Sim.Interp.Fast prog in
+  let ref_ = Core.Campaign.of_prog ~engine:Sim.Interp.Ref prog in
+  Alcotest.(check string)
+    "taint records agree across engine targets"
+    (campaign_records ~taint:true ref_ ~stride:0 ~jobs:2)
+    (campaign_records ~taint:true fast ~stride:0 ~jobs:2)
+
+(* ------------------------------------------------------------------ *)
+(* Directed trap/timeout parity: each abnormal-outcome class, with its
+   provenance, agrees between engines without any injection.           *)
+
+let check_parity name prog =
+  let code = Sim.Code.of_prog (Mlang.Compile.to_ir prog) in
+  let image = Sim.Interp.compile code in
+  let ctx_like r = (outcome_str r, r.Sim.Interp.dyn_count) in
+  let run image = Sim.Interp.run ?image ~lenient:true ~budget:2_000 code in
+  Alcotest.(check (pair string int))
+    name
+    (ctx_like (run None))
+    (ctx_like (run (Some image)))
+
+let test_abnormal_parity () =
+  check_parity "div by zero"
+    (program
+       [ garray "out" 1 ]
+       [
+         fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+           [ let_ "z" (i 0); ret (i 7 /! v "z") ];
+       ]);
+  check_parity "out-of-bounds store"
+    (program
+       [ garray "out" 2 ]
+       [
+         fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+           [ let_ "k" (i 9); sto "out" (v "k") (i 1); ret (i 0) ];
+       ]);
+  check_parity "timeout"
+    (program
+       [ garray "out" 1 ]
+       [
+         fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+           [
+             let_ "x" (i 1);
+             while_ (v "x" >! i 0) [ set "x" (v "x" +! i 1) ];
+             ret (i 0);
+           ];
+       ]);
+  check_parity "stack overflow"
+    (program
+       [ garray "out" 1 ]
+       [
+         fn "deep" [ p_int "n" ] ~ret:(Some Mlang.Ast.TInt)
+           [ ret (call "deep" [ v "n" +! i 1 ]) ];
+         fn "main" [] ~ret:(Some Mlang.Ast.TInt)
+           [ ret (call "deep" [ i 0 ]) ];
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Guards: the fast engine's compile-time binding is enforced.         *)
+
+let test_engine_guards () =
+  let ctx = ctx_of_seed 0 in
+  Alcotest.(check string) "engine names" "fast,ref"
+    (String.concat ","
+       (List.map Sim.Interp.engine_name [ Sim.Interp.Fast; Sim.Interp.Ref ]));
+  (* The injection's tag mask must be the compiled one (physical
+     equality): a structurally equal copy is rejected. *)
+  let copy = Array.map Array.copy ctx.tags in
+  Alcotest.(check bool) "foreign tag mask rejected" true
+    (try
+       ignore
+         (Sim.Interp.machine ~image:ctx.image
+            ~injection:(Sim.Interp.injection ~tags:copy ~plan:[])
+            ~lenient:true ctx.code);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "count_exec stays on the reference loop" true
+    (try
+       ignore
+         (Sim.Interp.machine ~image:ctx.image ~count_exec:true ~lenient:true
+            ctx.code);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "taint stays on the reference loop" true
+    (try
+       ignore (Sim.Interp.run ~image:ctx.image ~taint:true ctx.code);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest run_differential;
+          QCheck_alcotest.to_alcotest pause_resume_cross;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "records over jobs x strides" `Quick
+            test_campaign_grid;
+          Alcotest.test_case "taint fault flows" `Quick
+            test_campaign_taint_flows;
+        ] );
+      ( "directed",
+        [
+          Alcotest.test_case "abnormal outcome parity" `Quick
+            test_abnormal_parity;
+          Alcotest.test_case "engine guards" `Quick test_engine_guards;
+        ] );
+    ]
