@@ -127,6 +127,19 @@ let run_ablations ~trials ?jobs loaded =
    Both paths must produce identical trial records; the run aborts if
    they diverge. *)
 
+(* Bit-exactness fingerprint of one trial record — everything a
+   summary's [trials] list carries except the never-populated
+   [fault_flow]; fidelity travels as hexfloat so the comparison is
+   exact, not printf-rounded. *)
+let fingerprint (t : Core.Campaign.trial) =
+  Printf.sprintf "%d/%s/%d/%d/%d/%s" t.Core.Campaign.index
+    (Core.Outcome.describe t.Core.Campaign.outcome)
+    t.Core.Campaign.dyn_count t.Core.Campaign.faults_planned
+    t.Core.Campaign.faults_landed
+    (match t.Core.Campaign.fidelity with
+     | None -> "-"
+     | Some f -> Printf.sprintf "%h" f)
+
 type ckpt_cell = {
   ck_label : string;
   ck_errors : int;
@@ -159,15 +172,6 @@ let run_checkpoint ~quick ?jobs () : ckpt_cell list =
     List.map
       (fun policy -> Core.Campaign.prepare ~checkpoint_stride:0 target policy)
       policies
-  in
-  let fingerprint (t : Core.Campaign.trial) =
-    Printf.sprintf "%d/%s/%d/%d/%d/%s" t.Core.Campaign.index
-      (Core.Outcome.describe t.Core.Campaign.outcome)
-      t.Core.Campaign.dyn_count t.Core.Campaign.faults_planned
-      t.Core.Campaign.faults_landed
-      (match t.Core.Campaign.fidelity with
-       | None -> "-"
-       | Some f -> Printf.sprintf "%h" f)
   in
   let campaign ps ~errors =
     List.map
@@ -226,6 +230,151 @@ let run_checkpoint ~quick ?jobs () : ckpt_cell list =
         ck_skipped_dyn = skipped;
       })
     [ 20; 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental campaigns: section-level memoization (lib/core/memo)
+   after a synthetic one-function edit. Per app: a cold incremental run
+   on the pristine program populates a fresh cache; the program is then
+   dead-padded in one late-phase function and re-run both monolithically
+   (the cost an edit implies without the cache) and incrementally (only
+   section groups reached through the edit re-execute). The two must
+   produce identical trial records and the re-check must reuse at least
+   one group — both enforced with a hard failure; the ≤1/3 cost target
+   is reported, not asserted, so a loaded machine cannot flake the
+   bench. *)
+
+type inc_cell = {
+  inc_app : string;
+  inc_edited : string;  (* the dead-padded function *)
+  inc_errors : int;
+  inc_trials : int;  (* per policy *)
+  inc_cold_s : float;  (* cold incremental run (cache populate) *)
+  inc_full_s : float;  (* monolithic campaign on the edited program *)
+  inc_recheck_s : float;  (* warm incremental run on the edited program *)
+  inc_sections : int;  (* section groups across both policies *)
+  inc_hits : int;
+  inc_reused : int;
+  inc_ran : int;
+}
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let run_incremental ~quick ?jobs () : inc_cell list =
+  section
+    "Incremental campaigns — re-check after a one-function edit vs full";
+  let trials = if quick then 30 else 100 in
+  (* Dense plans concentrate first fault ordinals early (min of e
+     uniforms), so editing a late-phase function leaves most section
+     groups clean — the regime compositional injection targets. *)
+  let errors = 5 in
+  let seed = 1 in
+  let policies =
+    [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ]
+  in
+  List.map
+    (fun (app_name, edited) ->
+      let app =
+        match Apps.Registry.find app_name with
+        | Some a -> a
+        | None -> failwith ("unknown app " ^ app_name)
+      in
+      let b = app.Apps.App.build ~seed in
+      let prog0 = b.Apps.App.prog in
+      let prog1 = Analysis.Section.dead_pad ~func:edited prog0 in
+      let cache = "_bench_memo_cache_" ^ app_name in
+      rm_rf cache;
+      let store = Core.Memo.Store.open_ cache in
+      let wall name f =
+        let t0 = Unix.gettimeofday () in
+        let r = timed name f in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      (* Walls include of_prog + prepare: a re-check always pays the
+         golden run and checkpointing again, so both sides charge it. *)
+      let campaign run_one prog =
+        let target = Core.Campaign.of_prog prog in
+        let golden = target.Core.Campaign.baseline in
+        let score r = b.Apps.App.score ~golden r in
+        List.map
+          (fun policy ->
+            run_one ~score (Core.Campaign.prepare target policy))
+          policies
+      in
+      let mono ~score p =
+        Core.Campaign.run ?jobs ~score p ~errors ~trials ~seed:(seed + 100)
+      in
+      let inc ~score p =
+        Core.Memo.run ?jobs ~score ~salt:app_name ~store p ~errors ~trials
+          ~seed:(seed + 100)
+      in
+      let _, cold_s =
+        wall
+          (Printf.sprintf "inc_cold[%s]" app_name)
+          (fun () -> campaign inc prog0)
+      in
+      let full, full_s =
+        wall
+          (Printf.sprintf "inc_full[%s]" app_name)
+          (fun () -> campaign mono prog1)
+      in
+      let warm, recheck_s =
+        wall
+          (Printf.sprintf "inc_recheck[%s]" app_name)
+          (fun () -> campaign inc prog1)
+      in
+      List.iter2
+        (fun (a : Core.Campaign.summary) ((b : Core.Campaign.summary), _) ->
+          let fp s = List.map fingerprint s.Core.Campaign.trials in
+          if fp a <> fp b then
+            failwith
+              ("incremental and monolithic trial records diverge on "
+             ^ app_name))
+        full warm;
+      let st =
+        List.fold_left
+          (fun (acc : Core.Memo.stats) (_, (st : Core.Memo.stats)) ->
+            Core.Memo.
+              {
+                sections = acc.sections + st.sections;
+                hits = acc.hits + st.hits;
+                misses = acc.misses + st.misses;
+                trials_reused = acc.trials_reused + st.trials_reused;
+                trials_run = acc.trials_run + st.trials_run;
+              })
+          Core.Memo.zero_stats warm
+      in
+      if st.Core.Memo.hits = 0 then
+        failwith ("incremental re-check reused nothing on " ^ app_name);
+      rm_rf cache;
+      let ratio = recheck_s /. Float.max full_s 1e-9 in
+      say
+        "  %-6s edit %-8s %3d trials x 2 policies: full %6.2f s vs \
+         re-check %6.2f s (%.2fx cost)  %d/%d groups hit, %d/%d trials \
+         reused  [records identical]%s"
+        app_name edited trials full_s recheck_s ratio st.Core.Memo.hits
+        st.Core.Memo.sections st.Core.Memo.trials_reused
+        (st.Core.Memo.trials_reused + st.Core.Memo.trials_run)
+        (if ratio > 1.0 /. 3.0 then "  [above 1/3 target]" else "");
+      {
+        inc_app = app_name;
+        inc_edited = edited;
+        inc_errors = errors;
+        inc_trials = trials;
+        inc_cold_s = cold_s;
+        inc_full_s = full_s;
+        inc_recheck_s = recheck_s;
+        inc_sections = st.Core.Memo.sections;
+        inc_hits = st.Core.Memo.hits;
+        inc_reused = st.Core.Memo.trials_reused;
+        inc_ran = st.Core.Memo.trials_run;
+      })
+    [ ("gsm", "decode"); ("mpeg", "decode") ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the platform itself.                   *)
@@ -373,8 +522,8 @@ let micro () : (string * float * float option) list =
 
 let round3 x = Float.round (x *. 1000.0) /. 1000.0
 
-let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~total :
-    Report.t =
+let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~incremental
+    ~total : Report.t =
   let secs v = Report.num ~text:(Printf.sprintf "%.3f s" v) v in
   let timing_table ~id ~title ~key ~unit rows =
     Report.table ~id ~title
@@ -418,6 +567,46 @@ let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~total :
            ])
          checkpoint)
   in
+  let incremental_table =
+    Report.table ~id:"incremental"
+      ~title:
+        "Incremental campaigns: re-check after a one-function edit vs full"
+      ~columns:
+        (List.map
+           (fun (k, l) -> Report.column ~key:k l)
+           [
+             ("app", "app");
+             ("edited", "edited");
+             ("errors", "errors");
+             ("trials_per_policy", "trials/policy");
+             ("cold_wall_s", "cold s");
+             ("full_wall_s", "full s");
+             ("recheck_wall_s", "re-check s");
+             ("cost_ratio", "re-check/full");
+             ("groups_hit", "groups hit");
+             ("groups", "groups");
+             ("trials_reused", "reused");
+             ("trials_run", "run");
+           ])
+      (List.map
+         (fun c ->
+           [
+             Report.text c.inc_app;
+             Report.text c.inc_edited;
+             Report.int c.inc_errors;
+             Report.int c.inc_trials;
+             secs (round3 c.inc_cold_s);
+             secs (round3 c.inc_full_s);
+             secs (round3 c.inc_recheck_s);
+             (let r = round3 (c.inc_recheck_s /. Float.max c.inc_full_s 1e-9) in
+              Report.num ~text:(Printf.sprintf "%.2fx" r) r);
+             Report.int c.inc_hits;
+             Report.int c.inc_sections;
+             Report.int c.inc_reused;
+             Report.int c.inc_ran;
+           ])
+         incremental)
+  in
   Report.make ~command:"bench"
     ~meta:
       [
@@ -449,6 +638,7 @@ let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~total :
              ])
            micro);
       checkpoint_table;
+      incremental_table;
     ]
 
 let write_json (path, oc) report =
@@ -518,7 +708,7 @@ let () =
   let needs_apps =
     args = []
     || List.exists
-         (fun a -> a <> "micro" && a <> "checkpoint")
+         (fun a -> a <> "micro" && a <> "checkpoint" && a <> "incremental")
          args
   in
   let t0 = Unix.gettimeofday () in
@@ -539,6 +729,9 @@ let () =
   if want "extensions" then run_extensions ~trials ?jobs loaded;
   let checkpoint_results =
     if want "checkpoint" then run_checkpoint ~quick ?jobs () else []
+  in
+  let incremental_results =
+    if want "incremental" then run_incremental ~quick ?jobs () else []
   in
   let micro_results = if want "micro" then timed "micro" micro else [] in
   let total = Unix.gettimeofday () -. t0 in
@@ -585,4 +778,5 @@ let () =
   | Some dest ->
     write_json dest
       (bench_report ~jobs ~quick ~experiments:!experiment_times
-         ~micro:micro_results ~checkpoint:checkpoint_results ~total)
+         ~micro:micro_results ~checkpoint:checkpoint_results
+         ~incremental:incremental_results ~total)

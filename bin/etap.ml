@@ -4,6 +4,7 @@
      list                      enumerate benchmark applications
      run APP                   fault-free run + fidelity self-check
      tag APP                   tagging analysis summary (both modes)
+     sections APP              section partition + content hashes
      disasm APP [FUNC]         print the compiled IR
      inject APP -e N [-t T]    fault-injection campaign
      audit [APP]               dynamic taint audit of the tagging analysis
@@ -79,6 +80,23 @@ let stride_arg =
     value
     & opt (some int) None
     & info [ "checkpoint-stride" ] ~docv:"N" ~doc)
+
+let incremental_arg =
+  let doc =
+    "Memoize per-section campaign results in a content-addressed on-disk \
+     cache and compose re-runs from it: only sections whose composed \
+     content hash (or fault-model coordinates) changed re-execute. \
+     Summaries are bit-identical to a non-incremental run."
+  in
+  Arg.(value & flag & info [ "incremental" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Result-cache root for $(b,--incremental) (created on demand; safe \
+     to delete at any time)."
+  in
+  Arg.(
+    value & opt string "_etap_cache" & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
 let trace_arg =
   let doc =
@@ -218,6 +236,90 @@ let tag_cmd =
   Cmd.v (Cmd.info "tag" ~doc:"Show the control-protection tagging analysis")
     Term.(term_result (const action $ app_arg $ seed_arg))
 
+let sections_cmd =
+  let policy_arg =
+    let p =
+      Arg.enum
+        [
+          ("control", Core.Policy.Protect_control);
+          ("nothing", Core.Policy.Protect_nothing);
+        ]
+    in
+    let doc =
+      "Protection policy whose tag mask is folded into the hashes \
+       ($(b,control) or $(b,nothing)) — the same hashes `inject \
+       --incremental` keys its cache by."
+    in
+    Arg.(
+      value & opt p Core.Policy.Protect_control
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let action name seed literal policy json =
+    Result.map
+      (fun (app : Apps.App.t) ->
+        let b = app.Apps.App.build ~seed in
+        let prog = b.Apps.App.prog in
+        let tagging =
+          Core.Tagging.compute ~protect_addresses:(not literal) prog
+        in
+        let tags = Core.Tagging.mask tagging policy in
+        let sections = Analysis.Section.compute ~tags prog in
+        let short h = String.sub h 0 12 in
+        let meta =
+          [
+            ("app", Report.Json.Str name);
+            meta_int "seed" seed;
+            ("literal", Report.Json.Bool literal);
+            ("policy", Report.Json.Str (Core.Policy.to_string policy));
+          ]
+        in
+        let table =
+          Report.table ~id:"sections"
+            ~title:
+              (Printf.sprintf "Section partition: %s (%s)" name
+                 (Core.Policy.to_string policy))
+            ~columns:
+              [
+                Report.column ~key:"section" "section";
+                Report.column ~key:"static_slots" "static";
+                Report.column ~key:"tagged_slots" "tagged";
+                Report.column ~key:"callees" "callees";
+                Report.column ~key:"local_hash" "local hash";
+                Report.column ~key:"section_hash" "section hash";
+              ]
+            (Array.to_list
+               (Array.map
+                  (fun (i : Analysis.Section.info) ->
+                    [
+                      Report.text
+                        (if i.Analysis.Section.fid
+                            = (Analysis.Section.entry sections)
+                                .Analysis.Section.fid
+                         then i.Analysis.Section.name ^ " (entry)"
+                         else i.Analysis.Section.name);
+                      Report.int i.Analysis.Section.static_slots;
+                      Report.int i.Analysis.Section.tagged_slots;
+                      Report.text
+                        (String.concat "," i.Analysis.Section.callees);
+                      Report.text (short i.Analysis.Section.local_hash);
+                      Report.text (short i.Analysis.Section.section_hash);
+                    ])
+                  sections.Analysis.Section.infos))
+        in
+        emit ?json ~command:"sections" ~meta [ table ])
+      (find_app name)
+  in
+  Cmd.v
+    (Cmd.info "sections"
+       ~doc:
+         "Show the program's section partition: per-function canonical \
+          content hashes (local and composed over the call subtree) that \
+          key the incremental-injection result cache")
+    Term.(
+      term_result
+        (const action $ app_arg $ seed_arg $ literal_arg $ policy_arg
+       $ json_arg))
+
 let disasm_cmd =
   let func_arg =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"FUNC")
@@ -239,7 +341,7 @@ let disasm_cmd =
 
 let inject_cmd =
   let action name seed errors trials literal engine jobs checkpoint_stride
-      json trace metrics =
+      incremental cache_dir json trace metrics =
     Result.map
       (fun (app : Apps.App.t) ->
         let meta =
@@ -252,6 +354,10 @@ let inject_cmd =
             ("engine", Report.Json.Str (Sim.Interp.engine_name engine));
             meta_jobs jobs;
             ("checkpoint_stride", Report.Json.of_int_opt checkpoint_stride);
+            ("incremental", Report.Json.Bool incremental);
+            ( "cache_dir",
+              if incremental then Report.Json.Str cache_dir
+              else Report.Json.Null );
           ]
         in
         with_obs ~trace ~metrics ~command:"inject" ~meta @@ fun () ->
@@ -266,13 +372,42 @@ let inject_cmd =
         let target = l.Harness.Experiment.target mode in
         let golden = target.Core.Campaign.baseline in
         let score r = b.Apps.App.score ~golden r in
+        let store =
+          if incremental then Some (Core.Memo.Store.open_ cache_dir)
+          else None
+        in
+        let cache_total = ref Core.Memo.zero_stats in
         let summaries =
           List.map
             (fun policy ->
               let p = l.Harness.Experiment.prepared mode policy in
               let s =
-                Core.Campaign.run ?jobs ~score p ~errors ~trials
-                  ~seed:(seed + 100)
+                match store with
+                | None ->
+                  Core.Campaign.run ?jobs ~score p ~errors ~trials
+                    ~seed:(seed + 100)
+                | Some store ->
+                  let s, (st : Core.Memo.stats) =
+                    Core.Memo.run ?jobs ~score ~salt:name ~store p ~errors
+                      ~trials ~seed:(seed + 100)
+                  in
+                  (cache_total :=
+                     Core.Memo.
+                       {
+                         sections = !cache_total.sections + st.sections;
+                         hits = !cache_total.hits + st.hits;
+                         misses = !cache_total.misses + st.misses;
+                         trials_reused =
+                           !cache_total.trials_reused + st.trials_reused;
+                         trials_run = !cache_total.trials_run + st.trials_run;
+                       });
+                  say
+                    "%-18s cache: %d/%d section groups hit — %d trial(s) \
+                     reused, %d run"
+                    (Core.Policy.to_string policy)
+                    st.Core.Memo.hits st.Core.Memo.sections
+                    st.Core.Memo.trials_reused st.Core.Memo.trials_run;
+                  s
               in
               say
                 "%-18s errors=%-4d trials=%-3d catastrophic=%5.1f%% (%d \
@@ -334,18 +469,35 @@ let inject_cmd =
           Report.write_json ~path
             (Report.make ~command:"inject"
                ~meta:
-                 [
-                   ("app", Report.Json.Str name);
-                   meta_int "errors" errors;
-                   meta_int "trials" trials;
-                   meta_int "seed" seed;
-                   ("literal", Report.Json.Bool literal);
-                   ("engine", Report.Json.Str (Sim.Interp.engine_name engine));
-                   meta_jobs jobs;
-                   ( "checkpoint_stride",
-                     Report.Json.of_int_opt checkpoint_stride );
-                   ("fidelity_units", Report.Json.Str b.Apps.App.fidelity_units);
-                 ]
+                 ([
+                    ("app", Report.Json.Str name);
+                    meta_int "errors" errors;
+                    meta_int "trials" trials;
+                    meta_int "seed" seed;
+                    ("literal", Report.Json.Bool literal);
+                    ( "engine",
+                      Report.Json.Str (Sim.Interp.engine_name engine) );
+                    meta_jobs jobs;
+                    ( "checkpoint_stride",
+                      Report.Json.of_int_opt checkpoint_stride );
+                    ( "fidelity_units",
+                      Report.Json.Str b.Apps.App.fidelity_units );
+                    ("incremental", Report.Json.Bool incremental);
+                    ( "cache_dir",
+                      if incremental then Report.Json.Str cache_dir
+                      else Report.Json.Null );
+                  ]
+                 @
+                 if not incremental then []
+                 else
+                   let st = !cache_total in
+                   [
+                     meta_int "cache_sections" st.Core.Memo.sections;
+                     meta_int "cache_hits" st.Core.Memo.hits;
+                     meta_int "cache_misses" st.Core.Memo.misses;
+                     meta_int "cache_trials_reused" st.Core.Memo.trials_reused;
+                     meta_int "cache_trials_run" st.Core.Memo.trials_run;
+                   ])
                [ table ]);
           say "wrote %s" path)
       (find_app name)
@@ -355,8 +507,8 @@ let inject_cmd =
     Term.(
       term_result
         (const action $ app_arg $ seed_arg $ errors_arg $ trials_arg
-       $ literal_arg $ engine_arg $ jobs_arg $ stride_arg $ json_arg
-       $ trace_arg $ metrics_arg))
+       $ literal_arg $ engine_arg $ jobs_arg $ stride_arg $ incremental_arg
+       $ cache_dir_arg $ json_arg $ trace_arg $ metrics_arg))
 
 let asm_cmd =
   let file_arg =
@@ -654,7 +806,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; tag_cmd; disasm_cmd; asm_cmd; compile_cmd;
-            inject_cmd; audit_cmd; profile_cmd; table2_cmd;
+            list_cmd; run_cmd; tag_cmd; sections_cmd; disasm_cmd; asm_cmd;
+            compile_cmd; inject_cmd; audit_cmd; profile_cmd; table2_cmd;
             table3_cmd; figure_cmd; ablation_cmd;
           ]))

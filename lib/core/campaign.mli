@@ -122,6 +122,20 @@ val run_trial :
   index:int ->
   trial
 
+val run_trial_skip :
+  ?score:(Sim.Interp.result -> float) ->
+  ?taint:bool ->
+  prepared ->
+  errors:int ->
+  rng:Random.State.t ->
+  index:int ->
+  trial * int
+(** {!run_trial} plus the dynamic instructions a checkpoint restore let
+    the trial skip (0 when it ran from scratch) — the exact per-trial
+    unit {!run} aggregates into [resumed_trials]/[skipped_dyn].
+    {!Memo.run} executes its cache misses through this so incremental
+    and monolithic campaigns produce bit-identical trial records. *)
+
 val trial_rng :
   seed:int -> errors:int -> policy:Policy.t -> int -> Random.State.t
 (** The RNG {!run} derives for trial [i]: a function of

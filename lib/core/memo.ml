@@ -1,0 +1,512 @@
+(* Compositional campaign memoization — ROADMAP item 2, the
+   FastFlip-style decomposition.
+
+   A monolithic campaign is an opaque loop: trials × policy × app, all
+   re-run on any change. This module splits it along the program's
+   sections (Analysis.Section — functions, with composed content
+   hashes): each trial is attributed to the section that *owns* its
+   first planned fault ordinal, trials group by owning section, and
+   each group's records are stored in a content-addressed on-disk cache
+   keyed by everything that determines them:
+
+     key = H( etap-cache/1,
+              section_hash,                 composed over the call subtree
+              policy, errors, seed,         the fault model coordinates
+              injectable_total, budget,     pool geometry (plans + timeout)
+              lenient, scored, salt,        memory model / scorer / workload id
+              golden digest + dyn count,    baseline behaviour of the program
+              per-trial (index, first ordinal, entry-state digest) )
+
+   The entry-state digest is the full architectural state (frames keyed
+   by *local* section hashes, registers, counters, memory image) of the
+   checkpoint the trial resumes from. After an edit, a group whose
+   owning section's call subtree, entry state and plan geometry are all
+   unchanged re-reads its records from the cache; only dirty groups
+   re-execute — through the exact same [Campaign.run_trial_skip] path a
+   monolithic run uses, so composed summaries are bit-identical to
+   monolithic ones whenever every group is either clean-by-key or
+   re-run (see DESIGN.md §15 for the exactness envelope).
+
+   Everything here is deterministic: group membership, keys and record
+   assembly depend only on (prepared, errors, trials, seed, salt,
+   scorer presence), never on jobs, wall-clock or cache state. *)
+
+module J = Report.Json
+
+type stats = {
+  sections : int;  (* section groups = sections owning >= 1 trial *)
+  hits : int;  (* groups served entirely from the cache *)
+  misses : int;  (* groups executed and stored *)
+  trials_reused : int;
+  trials_run : int;
+}
+
+let zero_stats =
+  { sections = 0; hits = 0; misses = 0; trials_reused = 0; trials_run = 0 }
+
+(* ------------------------------ store ------------------------------ *)
+
+module Store = struct
+  let schema = "etap-cache/1"
+
+  type t = { root : string }
+
+  let rec mkdir_p dir =
+    if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+    then begin
+      mkdir_p (Filename.dirname dir);
+      try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    end
+
+  let open_ root =
+    mkdir_p root;
+    { root }
+
+  let root t = t.root
+
+  (* Two-level fan-out by key prefix, one JSON document per entry —
+     the usual content-addressed layout (git-object style), so the
+     root directory stays listable at any campaign size. *)
+  let path t ~key =
+    Filename.concat
+      (Filename.concat t.root (String.sub key 0 2))
+      (String.sub key 2 (String.length key - 2) ^ ".json")
+
+  let load t ~key : J.t option =
+    let p = path t ~key in
+    if not (Sys.file_exists p) then None
+    else
+      match
+        In_channel.with_open_bin p In_channel.input_all |> J.of_string
+      with
+      | Ok v when J.member "schema" v = Some (J.Str schema) -> Some v
+      | Ok _ | Error _ -> None  (* foreign schema / corrupt: treat as miss *)
+      | exception Sys_error _ -> None
+
+  (* Atomic publish: write to a temp file in the same directory, then
+     rename over the final path. A concurrent reader sees either the
+     old entry or the new one, never a torn write. *)
+  let save t ~key (v : J.t) =
+    let p = path t ~key in
+    mkdir_p (Filename.dirname p);
+    let tmp = p ^ ".tmp" in
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc (J.to_string v));
+    Sys.rename tmp p
+end
+
+(* ----------------------- record serialization --------------------- *)
+
+exception Bad_entry
+
+(* Trial records must roundtrip bit-exactly — the composed-vs-monolithic
+   equivalence suite compares them field by field. Floats therefore
+   serialize as hexfloat strings ("%h"), which [float_of_string] reads
+   back to the identical bits (including nan and infinities), never
+   through decimal shortening. *)
+let hexfloat x = Printf.sprintf "%h" x
+
+let json_of_trap (t : Sim.Trap.t) : (string * J.t) list =
+  let arg =
+    match t with
+    | Sim.Trap.Out_of_bounds a | Sim.Trap.Unaligned a
+    | Sim.Trap.Type_confusion a | Sim.Trap.Call_stack_overflow a ->
+      J.Int a
+    | Sim.Trap.Float_to_int_overflow x -> J.Str (hexfloat x)
+    | Sim.Trap.Division_by_zero | Sim.Trap.Null_access -> J.Null
+  in
+  [ ("trap", J.Str (Sim.Trap.kind t)); ("arg", arg) ]
+
+let trap_of_json ~kind ~arg : Sim.Trap.t =
+  let int_arg () = match arg with J.Int a -> a | _ -> raise Bad_entry in
+  match kind with
+  | "out_of_bounds" -> Sim.Trap.Out_of_bounds (int_arg ())
+  | "unaligned" -> Sim.Trap.Unaligned (int_arg ())
+  | "div_by_zero" -> Sim.Trap.Division_by_zero
+  | "type_confusion" -> Sim.Trap.Type_confusion (int_arg ())
+  | "f2i_overflow" -> (
+    match arg with
+    | J.Str s -> Sim.Trap.Float_to_int_overflow (float_of_string s)
+    | _ -> raise Bad_entry)
+  | "stack_overflow" -> Sim.Trap.Call_stack_overflow (int_arg ())
+  | "null_access" -> Sim.Trap.Null_access
+  | _ -> raise Bad_entry
+
+let json_of_outcome (o : Outcome.t) : J.t =
+  match o with
+  | Outcome.Completed -> J.Str "completed"
+  | Outcome.Infinite -> J.Str "infinite"
+  | Outcome.Crash (trap, site) ->
+    let site_json =
+      match site with
+      | None -> J.Null
+      | Some s ->
+        J.Obj
+          [ ("func", J.Str s.Outcome.func); ("pc", J.Int s.Outcome.pc) ]
+    in
+    J.Obj (json_of_trap trap @ [ ("site", site_json) ])
+
+let outcome_of_json (v : J.t) : Outcome.t =
+  match v with
+  | J.Str "completed" -> Outcome.Completed
+  | J.Str "infinite" -> Outcome.Infinite
+  | J.Obj _ ->
+    let kind =
+      match J.member "trap" v with Some (J.Str k) -> k | _ -> raise Bad_entry
+    in
+    let arg = Option.value ~default:J.Null (J.member "arg" v) in
+    let site =
+      match J.member "site" v with
+      | Some (J.Obj _ as s) -> (
+        match (J.member "func" s, J.member "pc" s) with
+        | Some (J.Str func), Some (J.Int pc) -> Some { Outcome.func; pc }
+        | _ -> raise Bad_entry)
+      | Some J.Null | None -> None
+      | Some _ -> raise Bad_entry
+    in
+    Outcome.Crash (trap_of_json ~kind ~arg, site)
+  | _ -> raise Bad_entry
+
+let trial_to_json (t : Campaign.trial) : J.t =
+  (* [fault_flow] is deliberately absent: incremental campaigns never
+     run under taint (audits are monolithic by design — DESIGN.md §15),
+     so cached trials always carry [None] there. *)
+  J.Obj
+    [
+      ("index", J.Int t.Campaign.index);
+      ("outcome", json_of_outcome t.Campaign.outcome);
+      ("dyn", J.Int t.Campaign.dyn_count);
+      ("planned", J.Int t.Campaign.faults_planned);
+      ("landed", J.Int t.Campaign.faults_landed);
+      ( "fidelity",
+        match t.Campaign.fidelity with
+        | None -> J.Null
+        | Some f -> J.Str (hexfloat f) );
+    ]
+
+let trial_of_json (v : J.t) : Campaign.trial =
+  let geti k =
+    match J.member k v with Some (J.Int i) -> i | _ -> raise Bad_entry
+  in
+  let outcome =
+    match J.member "outcome" v with
+    | Some o -> outcome_of_json o
+    | None -> raise Bad_entry
+  in
+  let fidelity =
+    match J.member "fidelity" v with
+    | Some (J.Str s) -> Some (float_of_string s)
+    | Some J.Null | None -> None
+    | Some _ -> raise Bad_entry
+  in
+  {
+    Campaign.index = geti "index";
+    outcome;
+    dyn_count = geti "dyn";
+    faults_planned = geti "planned";
+    faults_landed = geti "landed";
+    fidelity;
+    fault_flow = None;
+  }
+
+(* --------------------- sectioning + attribution -------------------- *)
+
+let sections_of (p : Campaign.prepared) : Analysis.Section.t =
+  Analysis.Section.compute ~tags:p.Campaign.tags
+    p.Campaign.target.Campaign.code.Sim.Code.prog
+
+(* First planned ordinal of trial [i] — [max_int] for an empty plan.
+   Recomputed from the same derived RNG [Campaign.run] uses, so this
+   costs one plan draw per trial and agrees with the plan the trial
+   will execute. *)
+let first_ordinal (p : Campaign.prepared) ~errors ~seed i =
+  let rng = Campaign.trial_rng ~seed ~errors ~policy:p.Campaign.policy i in
+  let plan =
+    Fault_model.make_plan ~rng ~injectable_total:p.Campaign.injectable_total
+      ~errors
+  in
+  Hashtbl.fold (fun o _ acc -> min o acc) plan max_int
+
+(* Owner of each requested ordinal: one golden walk on the reference
+   engine, pausing at [o + 1] for each (ascending) ordinal [o]. The
+   pause check precedes dispatch and [cur_fid] is re-synced before the
+   call-return write-back hook, so the fid read at ordinal [o + 1] is
+   exactly the frame that consumed ordinal [o]. If the machine halts
+   before a pause (only possible after the last injectable consumption)
+   the remaining ordinals attribute to the entry section — the
+   conservative bucket, since the entry's composed hash covers the
+   whole program. *)
+let owners_of (p : Campaign.prepared) ~(ordinals : int list) :
+    (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create (2 * List.length ordinals) in
+  (match ordinals with
+   | [] -> ()
+   | _ ->
+     let t = p.Campaign.target in
+     let entry_fid = t.Campaign.code.Sim.Code.entry_fid in
+     let injection = Fault_model.profiling_injection ~tags:p.Campaign.tags in
+     let m =
+       Sim.Interp.machine ~injection ~budget:p.Campaign.budget
+         ~memory:(Sim.Memory.copy t.Campaign.proto)
+         t.Campaign.code
+     in
+     let halted = ref false in
+     List.iter
+       (fun o ->
+         if !halted then Hashtbl.replace tbl o entry_fid
+         else
+           match Sim.Interp.advance m ~pause_at:(o + 1) with
+           | `Paused -> Hashtbl.replace tbl o (Sim.Interp.machine_fid m)
+           | `Halted ->
+             halted := true;
+             Hashtbl.replace tbl o entry_fid)
+       ordinals);
+  tbl
+
+(* Entry-state class of each trial: digest of the checkpoint it resumes
+   from. Frames are keyed by *local* section hashes — composing there
+   would put [main]'s (whole-program) hash into every digest and defeat
+   reuse. With checkpointing disabled every trial starts from the
+   pristine prototype image. *)
+let entry_digests (sections : Analysis.Section.t) (p : Campaign.prepared)
+    (firsts : int array) : string array =
+  let fid_key fid =
+    (Analysis.Section.info sections ~fid).Analysis.Section.local_hash
+  in
+  match p.Campaign.snapshots with
+  | None ->
+    let d =
+      "scratch:" ^ Sim.Memory.digest p.Campaign.target.Campaign.proto
+    in
+    Array.map (fun _ -> d) firsts
+  | Some snaps ->
+    let memo = Hashtbl.create 64 in
+    Array.map
+      (fun first ->
+        let snap = Sim.Snapshot.nearest snaps ~ordinal:(max first 0) in
+        let o = Sim.Interp.snapshot_ordinal snap in
+        match Hashtbl.find_opt memo o with
+        | Some d -> d
+        | None ->
+          let d = Sim.Interp.snapshot_digest ~fid_key snap in
+          Hashtbl.replace memo o d;
+          d)
+      firsts
+
+(* ------------------------------ keys ------------------------------- *)
+
+let group_key (p : Campaign.prepared) ~section_hash ~salt ~scored ~errors
+    ~seed ~(members : (int * int * string) list) : string =
+  let t = p.Campaign.target in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b Store.schema;
+  Buffer.add_char b '\n';
+  Buffer.add_string b section_hash;
+  Buffer.add_string b
+    (Printf.sprintf "\npolicy=%d errors=%d seed=%d pool=%d budget=%d"
+       (Policy.seed_tag p.Campaign.policy)
+       errors seed p.Campaign.injectable_total p.Campaign.budget);
+  Buffer.add_string b
+    (Printf.sprintf " lenient=%b scored=%b salt=%s" t.Campaign.lenient scored
+       salt);
+  Buffer.add_string b
+    (Printf.sprintf "\ngolden=%s dyn=%d"
+       (Sim.Memory.digest t.Campaign.baseline.Sim.Interp.memory)
+       t.Campaign.baseline.Sim.Interp.dyn_count);
+  List.iter
+    (fun (i, first, entry) ->
+      Buffer.add_string b (Printf.sprintf "\n%d:%d:%s" i first entry))
+    members;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------- run ------------------------------- *)
+
+let entry_json ~key ~(sec : Analysis.Section.info) ~context ~trials : J.t =
+  J.Obj
+    [
+      ("schema", J.Str Store.schema);
+      ("key", J.Str key);
+      ( "section",
+        J.Obj
+          [
+            ("name", J.Str sec.Analysis.Section.name);
+            ("hash", J.Str sec.Analysis.Section.section_hash);
+          ] );
+      ("context", context);
+      ("trials", J.Arr (List.map trial_to_json trials));
+    ]
+
+let cached_trials (v : J.t) ~(expect : int list) : Campaign.trial list option
+    =
+  match J.member "trials" v with
+  | Some (J.Arr items) -> (
+    match List.map trial_of_json items with
+    | ts ->
+      if List.map (fun t -> t.Campaign.index) ts = expect then Some ts
+      else None  (* stale membership: different grouping wrote this key *)
+    | exception (Bad_entry | Failure _) -> None)
+  | _ -> None
+
+let run ?jobs ?score ?(salt = "") ~(store : Store.t) (p : Campaign.prepared)
+    ~errors ~trials ~seed : Campaign.summary * stats =
+  let t0 = Obs.span_begin () in
+  let sections = sections_of p in
+  let entry_fid = p.Campaign.target.Campaign.code.Sim.Code.entry_fid in
+  let firsts = Array.init trials (first_ordinal p ~errors ~seed) in
+  let needed =
+    Array.to_list firsts
+    |> List.filter (fun o -> o <> max_int)
+    |> List.sort_uniq Int.compare
+  in
+  let owners = owners_of p ~ordinals:needed in
+  let owner_of i =
+    if firsts.(i) = max_int then entry_fid
+    else
+      match Hashtbl.find_opt owners firsts.(i) with
+      | Some fid -> fid
+      | None -> entry_fid
+  in
+  let digests = entry_digests sections p firsts in
+  (* Group trial indices by owning section, members ascending. *)
+  let groups = Hashtbl.create 16 in
+  for i = trials - 1 downto 0 do
+    let fid = owner_of i in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt groups fid) in
+    Hashtbl.replace groups fid (i :: prev)
+  done;
+  let group_list =
+    Hashtbl.fold (fun fid idxs acc -> (fid, idxs) :: acc) groups []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let scored = Option.is_some score in
+  let decided =
+    List.map
+      (fun (fid, idxs) ->
+        let sec = Analysis.Section.info sections ~fid in
+        let members =
+          List.map (fun i -> (i, firsts.(i), digests.(i))) idxs
+        in
+        let key =
+          group_key p
+            ~section_hash:sec.Analysis.Section.section_hash
+            ~salt ~scored ~errors ~seed ~members
+        in
+        match Store.load store ~key with
+        | Some v -> (
+          match cached_trials v ~expect:idxs with
+          | Some cached -> `Hit (sec, key, idxs, cached)
+          | None -> `Miss (sec, key, idxs))
+        | None -> `Miss (sec, key, idxs))
+      group_list
+  in
+  (* All cache misses fan out over the pool in one flat batch — the
+     same per-trial path as [Campaign.run], so records are
+     bit-identical to a monolithic campaign's. *)
+  let missing =
+    List.concat_map
+      (function `Miss (_, _, idxs) -> idxs | `Hit _ -> [])
+      decided
+    |> List.sort Int.compare
+  in
+  let ran = Hashtbl.create (2 * List.length missing + 1) in
+  (match missing with
+   | [] -> ()
+   | _ ->
+     let results =
+       Pool.map_list ?jobs
+         (fun i ->
+           let rng =
+             Campaign.trial_rng ~seed ~errors ~policy:p.Campaign.policy i
+           in
+           (i, Campaign.run_trial_skip ?score p ~errors ~rng ~index:i))
+         missing
+     in
+     List.iter (fun (i, r) -> Hashtbl.replace ran i r) results);
+  (* Publish each missed group, then assemble the composed summary. *)
+  let context =
+    J.Obj
+      [
+        ("policy", J.Str (Policy.to_string p.Campaign.policy));
+        ("errors", J.Int errors);
+        ("seed", J.Int seed);
+        ("injectable_total", J.Int p.Campaign.injectable_total);
+        ("budget", J.Int p.Campaign.budget);
+        ("lenient", J.Bool p.Campaign.target.Campaign.lenient);
+        ("scored", J.Bool scored);
+        ("salt", J.Str salt);
+      ]
+  in
+  let st = ref zero_stats in
+  let collected =
+    List.concat_map
+      (function
+        | `Hit (_, _, idxs, cached) ->
+          st :=
+            {
+              !st with
+              sections = !st.sections + 1;
+              hits = !st.hits + 1;
+              trials_reused = !st.trials_reused + List.length idxs;
+            };
+          List.map (fun t -> (t, 0)) cached
+        | `Miss (sec, key, idxs) ->
+          let group = List.map (fun i -> Hashtbl.find ran i) idxs in
+          st :=
+            {
+              !st with
+              sections = !st.sections + 1;
+              misses = !st.misses + 1;
+              trials_run = !st.trials_run + List.length idxs;
+            };
+          Store.save store ~key
+            (entry_json ~key ~sec ~context ~trials:(List.map fst group));
+          group)
+      decided
+  in
+  let all =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a.Campaign.index b.Campaign.index)
+      collected
+  in
+  let stats_acc =
+    List.fold_left
+      (fun acc (t, _) ->
+        Stats.observe acc t.Campaign.outcome ~fidelity:t.Campaign.fidelity)
+      Stats.empty all
+  in
+  let summary =
+    {
+      Campaign.trials = List.map fst all;
+      stats = stats_acc;
+      errors_requested = errors;
+      errors_planned =
+        Fault_model.planned ~injectable_total:p.Campaign.injectable_total
+          ~errors;
+      (* Resume accounting covers executed trials only: reused trials
+         ran nothing, so they neither resumed nor skipped anything in
+         this run. *)
+      resumed_trials =
+        List.fold_left
+          (fun n (_, sk) -> if sk > 0 then n + 1 else n)
+          0 collected;
+      skipped_dyn = List.fold_left (fun n (_, sk) -> n + sk) 0 collected;
+    }
+  in
+  if Obs.enabled () then begin
+    (* All jobs-invariant: pure functions of the request + cache
+       state, never of scheduling. *)
+    Obs.count "memo.sections" !st.sections;
+    Obs.count "memo.hits" !st.hits;
+    Obs.count "memo.misses" !st.misses;
+    Obs.count "memo.trials_reused" !st.trials_reused;
+    Obs.count "memo.trials_run" !st.trials_run;
+    Obs.span_end ~name:"memo.run" ~cat:"campaign"
+      ~args:
+        [
+          ("policy", Policy.to_string p.Campaign.policy);
+          ("hits", string_of_int !st.hits);
+          ("misses", string_of_int !st.misses);
+        ]
+      t0
+  end;
+  (summary, !st)

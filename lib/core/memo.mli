@@ -1,0 +1,88 @@
+(** Compositional campaign memoization: section-level result reuse
+    through a content-addressed on-disk cache (FastFlip-style — see
+    DESIGN.md §15).
+
+    {!run} is a drop-in sibling of {!Campaign.run}: same arguments plus
+    a {!Store.t}, same [summary] — bit-identical to the monolithic one
+    on a cold cache, and composed from cached per-section records on a
+    warm one. Each trial is attributed to the section (function, with a
+    composed content hash over its call subtree — [Analysis.Section])
+    owning its first planned fault ordinal; a group of trials is
+    reusable iff nothing its key covers changed: the owning section's
+    composed hash, the fault-model coordinates (policy, errors, seed,
+    injectable pool, budget), the baseline behaviour digest, and each
+    trial's entry-state class (digest of the checkpoint it resumes
+    from, frames keyed by local section hashes).
+
+    Incremental campaigns never run under taint — audit flows stay
+    monolithic ({!Campaign.run} [~taint:true]). *)
+
+type stats = {
+  sections : int;  (** section groups (sections owning at least 1 trial) *)
+  hits : int;  (** groups served entirely from the cache *)
+  misses : int;  (** groups executed and stored *)
+  trials_reused : int;
+  trials_run : int;
+}
+
+val zero_stats : stats
+
+(** Content-addressed entry store under a root directory (by
+    convention [_etap_cache/]): one JSON document per group, schema
+    [etap-cache/1], at [root/<key[0:2]>/<key[2:]>.json]. Corrupt,
+    foreign-schema or stale-membership entries read as misses, never
+    as errors; writes are atomic (temp file + rename). *)
+module Store : sig
+  type t
+
+  val schema : string
+  (** ["etap-cache/1"] *)
+
+  val open_ : string -> t
+  (** Create (mkdir -p) or reopen the store rooted at the path. *)
+
+  val root : t -> string
+end
+
+val sections_of : Campaign.prepared -> Analysis.Section.t
+(** Section partition of the prepared target's program, with the
+    policy's tag mask folded into the hashes. *)
+
+val owners_of : Campaign.prepared -> ordinals:int list -> (int, int) Hashtbl.t
+(** Owning fid of each requested injectable ordinal (ascending list),
+    from one golden walk on the reference engine pausing at [o + 1] —
+    the paused frame is exactly the one that consumed ordinal [o].
+    Ordinals past the last pause point attribute to the entry
+    section. *)
+
+val trial_to_json : Campaign.trial -> Report.Json.t
+(** Cache-entry encoding of one trial record. Floats travel as hexfloat
+    strings so records roundtrip bit-exactly; [fault_flow] is always
+    [None] on this path and is not encoded. *)
+
+val trial_of_json : Report.Json.t -> Campaign.trial
+(** Inverse of {!trial_to_json}. Raises on malformed input (callers in
+    this module convert that to a cache miss). *)
+
+val run :
+  ?jobs:int ->
+  ?score:(Sim.Interp.result -> float) ->
+  ?salt:string ->
+  store:Store.t ->
+  Campaign.prepared ->
+  errors:int ->
+  trials:int ->
+  seed:int ->
+  Campaign.summary * stats
+(** Incremental counterpart of {!Campaign.run}. Cache misses execute
+    through {!Campaign.run_trial_skip} (the monolithic per-trial path)
+    and are then published to [store]; hits are composed from their
+    stored records. The summary's [trials], [stats], [errors_*] fields
+    are bit-identical to {!Campaign.run}'s for the same arguments;
+    [resumed_trials]/[skipped_dyn] count executed trials only (a fully
+    warm run reports 0/0).
+
+    [salt] folds an out-of-band identity into every key — callers pass
+    the app name (and anything else that selects the scorer/workload)
+    because a [score] closure itself cannot be hashed. [jobs] fans the
+    misses out over domains; results are jobs-invariant. *)

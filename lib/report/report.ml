@@ -145,6 +145,176 @@ module Json = struct
   let to_file path t =
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (to_string t))
+
+  (* ---------------------------- parser ---------------------------- *)
+
+  (* Recursive-descent reader for the documents this module writes
+     (cache entries, reports). Accepts standard JSON; numbers without a
+     fraction or exponent read back as [Int], everything else as
+     [Float]. [\u] escapes decode to UTF-8 bytes. *)
+  exception Parse_error of string
+
+  let of_string_exn (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let lit word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let string_body () =
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; incr pos
+           | '\\' -> Buffer.add_char buf '\\'; incr pos
+           | '/' -> Buffer.add_char buf '/'; incr pos
+           | 'b' -> Buffer.add_char buf '\b'; incr pos
+           | 'f' -> Buffer.add_char buf '\012'; incr pos
+           | 'n' -> Buffer.add_char buf '\n'; incr pos
+           | 'r' -> Buffer.add_char buf '\r'; incr pos
+           | 't' -> Buffer.add_char buf '\t'; incr pos
+           | 'u' ->
+             if !pos + 4 >= n then fail "truncated \\u escape";
+             let hex = String.sub s (!pos + 1) 4 in
+             let cp =
+               try int_of_string ("0x" ^ hex)
+               with _ -> fail "bad \\u escape"
+             in
+             utf8 buf cp;
+             pos := !pos + 5
+           | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          go ()
+        | c -> Buffer.add_char buf c; incr pos; go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do incr pos done;
+      let tok = String.sub s start (!pos - start) in
+      let is_float =
+        String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
+      in
+      if is_float then
+        match float_of_string_opt tok with
+        | Some x -> Float x
+        | None -> fail ("bad number " ^ tok)
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt tok with
+          | Some x -> Float x
+          | None -> fail ("bad number " ^ tok))
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> lit "null" Null
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some '"' -> incr pos; Str (string_body ())
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin incr pos; Arr [] end
+        else begin
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; items (v :: acc)
+            | Some ']' -> incr pos; List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin incr pos; Obj [] end
+        else begin
+          let field () =
+            skip_ws ();
+            expect '"';
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; fields (kv :: acc)
+            | Some '}' -> incr pos; List.rev (kv :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+      | Some _ -> number ()
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let of_string s : (t, string) result =
+    match of_string_exn s with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  (* Field access helpers for readers of parsed documents. *)
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+
+  let to_int_opt = function Int i -> Some i | _ -> None
+  let to_str_opt = function Str s -> Some s | _ -> None
 end
 
 (* ------------------------------------------------------------------ *)

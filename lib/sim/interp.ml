@@ -322,6 +322,8 @@ type snapshot = Machine.snapshot
 let capture = Machine.capture
 let snapshot_ordinal = Machine.snapshot_ordinal
 let snapshot_dyn = Machine.snapshot_dyn
+let snapshot_digest = Machine.snapshot_digest
+let machine_fid = Machine.machine_fid
 
 let resume ?image ?injection (s : snapshot) : machine =
   Machine.restore ?image ?injection s

@@ -162,6 +162,19 @@ val snapshot_dyn : snapshot -> int
 (** Dynamic instructions executed up to the snapshot — the work a
     resumed trial skips. *)
 
+val snapshot_digest : fid_key:(int -> string) -> snapshot -> string
+(** Hex MD5 over the snapshot's full architectural state: counters,
+    frame stack (each frame's function named by [fid_key fid] — pass a
+    rename-stable identity such as a section local hash — plus its pc
+    and both register banks) and the memory image. Equal digests mean
+    resuming either snapshot is observably identical. *)
+
+val machine_fid : machine -> int
+(** Fid of the frame the dispatch loop is executing in. At a pause this
+    is exactly the frame that consumed the most recent injectable
+    ordinal — compositional campaigns pause at [o + 1] and read it to
+    attribute ordinal [o] to its owning section. *)
+
 val run :
   ?image:image ->
   ?injection:injection ->

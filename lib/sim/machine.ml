@@ -416,3 +416,36 @@ let restore ?image ?injection (s : snapshot) : t =
     pause_at = max_int;
     run_fr = head;
   }
+
+(* Fid of the frame the dispatch loop is executing in. At a pause this
+   is exactly the frame that consumed the most recent injectable
+   ordinal: the hook bumps [inj_seen] at write-back (with [cur_fid]
+   already synced — [return] re-syncs it before the call-return
+   write-back hook runs) and the pause check sits at the top of
+   dispatch, before any frame switch can follow. Compositional
+   campaigns read it to attribute an ordinal to its owning section. *)
+let machine_fid m = m.cur_fid
+
+(* Content digest of a snapshot's full architectural state. [fid_key]
+   names each stack frame's function with a rename-stable identity
+   (section local hashes in compositional campaigns) so the digest
+   survives renames/reorders but changes with any frame code, register,
+   pc, counter or memory difference. *)
+let snapshot_digest ~fid_key (s : snapshot) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_int64_le b (Int64.of_int s.s_budget);
+  Buffer.add_int64_le b (Int64.of_int s.s_dyn);
+  Buffer.add_int64_le b (Int64.of_int s.s_inj_seen);
+  Buffer.add_int64_le b (Int64.of_int s.s_depth);
+  Array.iter
+    (fun fr ->
+      Buffer.add_string b (fid_key fr.fid);
+      Buffer.add_int64_le b (Int64.of_int fr.pc);
+      Array.iter (fun v -> Buffer.add_int64_le b (Int64.of_int v)) fr.iregs;
+      Array.iter
+        (fun x -> Buffer.add_int64_le b (Int64.bits_of_float x))
+        fr.fregs;
+      Buffer.add_char b ';')
+    s.s_frames;
+  Buffer.add_string b (Memory.digest s.s_memory);
+  Digest.to_hex (Digest.string (Buffer.contents b))

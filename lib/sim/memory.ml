@@ -278,3 +278,21 @@ let read_global_flts t prog name =
   Array.map
     (function Value.F x -> x | Value.I v -> float_of_int v)
     (read_global t prog name)
+
+(* Content digest of the full image — cell values, kind tags and the
+   access model. The raw material of cache keys in compositional
+   campaigns: two memories with equal digests are observably identical
+   to the interpreter. Values are packed as fixed-width little-endian
+   words (no decimal formatting) so digesting stays cheap even for the
+   largest app images. *)
+let digest t : string =
+  let n = Array.length t.ints in
+  let b = Buffer.create (16 + (n * 17)) in
+  Buffer.add_string b (if t.lenient then "L" else "S");
+  Buffer.add_int64_le b (Int64.of_int t.size_bytes);
+  for i = 0 to n - 1 do
+    Buffer.add_char b (Bytes.get t.kind i);
+    Buffer.add_int64_le b (Int64.of_int (Array.unsafe_get t.ints i));
+    Buffer.add_int64_le b (Int64.bits_of_float (Array.unsafe_get t.flts i))
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents b))

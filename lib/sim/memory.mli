@@ -57,3 +57,8 @@ val read_global_ints : t -> Ir.Prog.t -> string -> int array
     the platform's unspecified [int_of_float] result. *)
 
 val read_global_flts : t -> Ir.Prog.t -> string -> float array
+
+val digest : t -> string
+(** Hex MD5 over the full image: cell values, kind tags, size and
+    access model. Equal digests mean the two memories are observably
+    identical to the interpreter. *)

@@ -7,11 +7,13 @@
 #   check_schemas.sh report FILE    # etap-report/1 (etap --json, bench --json)
 #   check_schemas.sh trace FILE     # etap-trace/1  (--trace)
 #   check_schemas.sh metrics FILE   # etap-metrics/1 (--metrics, JSONL)
+#   check_schemas.sh cache FILE     # etap-cache/1  (one _etap_cache/ entry)
+#   check_schemas.sh cache DIR      # every *.json entry under the store
 #
 # Uses python3's json module (present on CI runners); no jq dependency.
 set -euo pipefail
 
-usage="usage: check_schemas.sh report|trace|metrics FILE"
+usage="usage: check_schemas.sh report|trace|metrics|cache FILE"
 kind="${1:?$usage}"
 file="${2:?$usage}"
 
@@ -59,6 +61,41 @@ elif kind == "trace":
                    "complete event without non-negative ts")
             expect(isinstance(e.get("dur"), (int, float)) and e["dur"] >= 0,
                    "complete event without non-negative dur")
+elif kind == "cache":
+    # One entry file, or a store root — then every *.json below it.
+    import os
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(d, f)
+            for d, _, fs in os.walk(path) for f in fs if f.endswith(".json"))
+        expect(files, "no cache entries under store root")
+    else:
+        files = [path]
+    hexfloat = {"nan", "-nan", "infinity", "-infinity"}
+    for fp in files:
+        doc = json.load(open(fp))
+        expect(doc.get("schema") == "etap-cache/1",
+               f"{fp}: bad schema marker {doc.get('schema')!r}")
+        expect(isinstance(doc.get("key"), str) and len(doc["key"]) == 32,
+               f"{fp}: key is not a 32-hex-char digest")
+        sec = doc.get("section")
+        expect(isinstance(sec, dict) and isinstance(sec.get("name"), str)
+               and isinstance(sec.get("hash"), str),
+               f"{fp}: missing section name/hash")
+        trials = doc.get("trials")
+        expect(isinstance(trials, list) and trials, f"{fp}: missing/empty trials")
+        indices = []
+        for t in trials:
+            for k in ("index", "dyn", "planned", "landed"):
+                expect(isinstance(t.get(k), int), f"{fp}: trial {k} not an int")
+            expect(t["landed"] <= t["planned"], f"{fp}: landed > planned")
+            fid = t.get("fidelity")
+            expect(fid is None or isinstance(fid, str)
+                   and (fid.startswith(("0x", "-0x")) or fid.lower() in hexfloat),
+                   f"{fp}: fidelity {fid!r} is not null or a hexfloat string")
+            indices.append(t["index"])
+        expect(indices == sorted(indices), f"{fp}: trial indices not ascending")
+    print(f"checked {len(files)} cache entr{'y' if len(files) == 1 else 'ies'}")
 elif kind == "report":
     doc = json.load(open(path))
     expect(doc.get("schema") == "etap-report/1",
