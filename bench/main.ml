@@ -377,6 +377,105 @@ let run_incremental ~quick ?jobs () : inc_cell list =
     [ ("gsm", "decode"); ("mpeg", "decode") ]
 
 (* ------------------------------------------------------------------ *)
+(* Matrix sweep: the spec-driven runner (Harness.Matrix) cold vs warm
+   on a shared result cache. The warm run must be served entirely from
+   the cache (cell hits > 0, zero trials executed) and its summaries
+   must be bit-identical to the cold run's — both enforced with a hard
+   failure. The wall ratio is reported, not asserted, so a loaded
+   machine cannot flake the bench. *)
+
+type mx_cell = {
+  mx_label : string;
+  mx_requested : int;
+  mx_ok : int;
+  mx_skipped : int;
+  mx_trials : int;  (* per cell *)
+  mx_cold_s : float;
+  mx_warm_s : float;
+  mx_warm_hits : int;  (* warm cells served entirely from the cache *)
+  mx_trials_reused : int;  (* warm run *)
+}
+
+let run_matrix ~quick ?jobs () : mx_cell list =
+  section "Matrix sweep — cold vs warm on a shared result cache";
+  let trials = if quick then 8 else 25 in
+  let spec =
+    {
+      Harness.Matrix.apps = [ "adpcm"; "gsm" ];
+      mode = Harness.Experiment.Full;
+      policies = [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ];
+      errors = [ 1; 5 ];
+      trials;
+      seed = 1;
+    }
+  in
+  let cache = "_bench_matrix_cache" in
+  rm_rf cache;
+  let store = Core.Memo.Store.open_ cache in
+  let wall name f =
+    let t0 = Unix.gettimeofday () in
+    let r = timed name f in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let cold, cold_s =
+    wall "matrix_cold" (fun () -> Harness.Matrix.run ?jobs ~store spec)
+  in
+  let warm, warm_s =
+    wall "matrix_warm" (fun () -> Harness.Matrix.run ?jobs ~store spec)
+  in
+  rm_rf cache;
+  (match
+     Harness.Matrix.failures cold @ Harness.Matrix.failures warm
+   with
+   | [] -> ()
+   | (l, m) :: _ -> failwith ("matrix cell failed: " ^ l ^ ": " ^ m));
+  let tc = Harness.Matrix.totals cold in
+  let tw = Harness.Matrix.totals warm in
+  if tw.Harness.Matrix.cells_hit = 0 then
+    failwith "warm matrix run hit nothing in the cache";
+  if tw.Harness.Matrix.trials_run > 0 then
+    failwith "warm matrix run re-executed trials";
+  List.iter2
+    (fun (a : Harness.Matrix.cell) (b : Harness.Matrix.cell) ->
+      match (a.Harness.Matrix.status, b.Harness.Matrix.status) with
+      | Harness.Matrix.Ok x, Harness.Matrix.Ok y ->
+        let fp (ok : Harness.Matrix.cell_ok) =
+          List.map fingerprint ok.Harness.Matrix.summary.Core.Campaign.trials
+        in
+        if fp x <> fp y then
+          failwith
+            ("cold and warm matrix summaries diverge at "
+            ^ Harness.Matrix.cell_label a.Harness.Matrix.cell)
+      | Harness.Matrix.Skipped _, Harness.Matrix.Skipped _ -> ()
+      | _ ->
+        failwith
+          ("cold and warm matrix statuses diverge at "
+          ^ Harness.Matrix.cell_label a.Harness.Matrix.cell))
+    cold.Harness.Matrix.cells warm.Harness.Matrix.cells;
+  say
+    "  %d cells (%d ok, %d skipped) x %d trials: cold %6.2f s vs warm \
+     %6.2f s (%.2fx)  warm: %d/%d cells cached, %d trials reused  \
+     [records identical]"
+    tc.Harness.Matrix.requested tc.Harness.Matrix.ok
+    tc.Harness.Matrix.skipped trials cold_s warm_s
+    (warm_s /. Float.max cold_s 1e-9)
+    tw.Harness.Matrix.cells_hit tw.Harness.Matrix.ok
+    tw.Harness.Matrix.trials_reused;
+  [
+    {
+      mx_label = "adpcm+gsm 2x2x2";
+      mx_requested = tc.Harness.Matrix.requested;
+      mx_ok = tc.Harness.Matrix.ok;
+      mx_skipped = tc.Harness.Matrix.skipped;
+      mx_trials = trials;
+      mx_cold_s = cold_s;
+      mx_warm_s = warm_s;
+      mx_warm_hits = tw.Harness.Matrix.cells_hit;
+      mx_trials_reused = tw.Harness.Matrix.trials_reused;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the platform itself.                   *)
 
 let micro () : (string * float * float option) list =
@@ -523,16 +622,62 @@ let micro () : (string * float * float option) list =
 let round3 x = Float.round (x *. 1000.0) /. 1000.0
 
 let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~incremental
-    ~total : Report.t =
+    ~matrix ~total : Report.t =
   let secs v = Report.num ~text:(Printf.sprintf "%.3f s" v) v in
   let timing_table ~id ~title ~key ~unit rows =
     Report.table ~id ~title
       ~columns:[ Report.column ~key:"name" "name"; Report.column ~key unit ]
       (List.map
          (fun (name, v) ->
-           let v = round3 v in
-           [ Report.text name; Report.num ~text:(Printf.sprintf "%.3f" v) v ])
+           [
+             Report.text name;
+             (* Entries whose wall rounds to 0.000 are experiments that
+                did no fresh work this run (their inputs were memoized
+                by an earlier experiment — e.g. table3 behind
+                load_apps in quick mode). An explicit marker (JSON
+                null) keeps them out of perf-trajectory diffs instead
+                of contributing a misleading 0.0. *)
+             (if v < 0.0005 then Report.Missing "skipped"
+              else
+                let v = round3 v in
+                Report.num ~text:(Printf.sprintf "%.3f" v) v);
+           ])
          rows)
+  in
+  let matrix_table =
+    Report.table ~id:"matrix"
+      ~title:"Matrix sweep: cold vs warm on a shared result cache"
+      ~columns:
+        (List.map
+           (fun (k, l) -> Report.column ~key:k l)
+           [
+             ("cell", "cell");
+             ("cells_requested", "cells");
+             ("cells_ok", "ok");
+             ("cells_skipped", "skipped");
+             ("trials_per_cell", "trials/cell");
+             ("cold_wall_s", "cold s");
+             ("warm_wall_s", "warm s");
+             ("warm_ratio", "warm/cold");
+             ("warm_cells_hit", "warm hits");
+             ("warm_trials_reused", "reused");
+           ])
+      (List.map
+         (fun c ->
+           [
+             Report.text c.mx_label;
+             Report.int c.mx_requested;
+             Report.int c.mx_ok;
+             Report.int c.mx_skipped;
+             Report.int c.mx_trials;
+             secs (round3 c.mx_cold_s);
+             secs (round3 c.mx_warm_s);
+             (let r = round3 (c.mx_warm_s /. Float.max c.mx_cold_s 1e-9) in
+              Report.num ~text:(Printf.sprintf "%.2fx" r) r);
+             Report.int c.mx_warm_hits;
+             Report.int c.mx_trials_reused;
+           ])
+         matrix)
   in
   let checkpoint_table =
     Report.table ~id:"checkpoint"
@@ -639,6 +784,7 @@ let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~incremental
            micro);
       checkpoint_table;
       incremental_table;
+      matrix_table;
     ]
 
 let write_json (path, oc) report =
@@ -708,7 +854,9 @@ let () =
   let needs_apps =
     args = []
     || List.exists
-         (fun a -> a <> "micro" && a <> "checkpoint" && a <> "incremental")
+         (fun a ->
+           a <> "micro" && a <> "checkpoint" && a <> "incremental"
+           && a <> "matrix")
          args
   in
   let t0 = Unix.gettimeofday () in
@@ -732,6 +880,9 @@ let () =
   in
   let incremental_results =
     if want "incremental" then run_incremental ~quick ?jobs () else []
+  in
+  let matrix_results =
+    if want "matrix" then run_matrix ~quick ?jobs () else []
   in
   let micro_results = if want "micro" then timed "micro" micro else [] in
   let total = Unix.gettimeofday () -. t0 in
@@ -779,4 +930,4 @@ let () =
     write_json dest
       (bench_report ~jobs ~quick ~experiments:!experiment_times
          ~micro:micro_results ~checkpoint:checkpoint_results
-         ~incremental:incremental_results ~total)
+         ~incremental:incremental_results ~matrix:matrix_results ~total)

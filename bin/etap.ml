@@ -7,6 +7,7 @@
      sections APP              section partition + content hashes
      disasm APP [FUNC]         print the compiled IR
      inject APP -e N [-t T]    fault-injection campaign
+     matrix [--apps ...]       cached sweep over apps x policies x errors
      audit [APP]               dynamic taint audit of the tagging analysis
      profile APP               fault-site attribution profile
      table2 | table3           reproduce the paper's tables
@@ -510,6 +511,178 @@ let inject_cmd =
        $ literal_arg $ engine_arg $ jobs_arg $ stride_arg $ incremental_arg
        $ cache_dir_arg $ json_arg $ trace_arg $ metrics_arg))
 
+let matrix_cmd =
+  let split_commas s =
+    List.filter
+      (fun x -> x <> "")
+      (List.map String.trim (String.split_on_char ',' s))
+  in
+  let apps_arg =
+    let doc =
+      "Comma-separated application names to sweep (default: every \
+       registered app). Unknown names become $(b,failed) cells."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "apps" ] ~docv:"A,B,..." ~doc)
+  in
+  let policies_arg =
+    let doc =
+      "Comma-separated protection policies per app: $(b,control), \
+       $(b,nothing), $(b,all)."
+    in
+    Arg.(
+      value
+      & opt string "control,nothing"
+      & info [ "policies" ] ~docv:"P,..." ~doc)
+  in
+  let errors_list_arg =
+    let doc = "Comma-separated error counts — one campaign cell each." in
+    Arg.(value & opt string "1,5,20" & info [ "e"; "errors" ] ~docv:"N,..." ~doc)
+  in
+  let spec_arg =
+    let doc =
+      "JSON spec file. Present fields ($(b,apps), $(b,policies), \
+       $(b,errors), $(b,trials), $(b,seed), $(b,literal)) override the \
+       corresponding flags."
+    in
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+  in
+  let matrix_cache_dir_arg =
+    let doc =
+      "Result-cache root (created on demand; safe to delete at any \
+       time). Every cell routes through the cache, so re-running an \
+       unchanged spec — or overlapping a previous `inject \
+       --incremental` run — reuses stored trial records."
+    in
+    Arg.(
+      value & opt string "_etap_cache" & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let action apps policies errors_s trials seed literal spec engine jobs
+      checkpoint_stride cache_dir json trace metrics =
+    let ( let* ) = Result.bind in
+    let* policies =
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          match Harness.Matrix.policy_of_string s with
+          | Ok p -> Ok (acc @ [ p ])
+          | Error m -> Error (`Msg m))
+        (Ok []) (split_commas policies)
+    in
+    let* errors =
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          match int_of_string_opt s with
+          | Some n when n > 0 -> Ok (acc @ [ n ])
+          | _ -> Error (`Msg (Printf.sprintf "bad error count %S" s)))
+        (Ok []) (split_commas errors_s)
+    in
+    let base =
+      {
+        Harness.Matrix.apps =
+          (match apps with
+           | None -> Harness.Matrix.default_spec.Harness.Matrix.apps
+           | Some s -> split_commas s);
+        mode =
+          (if literal then Harness.Experiment.Literal
+           else Harness.Experiment.Full);
+        policies;
+        errors;
+        trials;
+        seed;
+      }
+    in
+    let* s =
+      match spec with
+      | None -> Ok base
+      | Some path -> (
+        match
+          Report.Json.of_string
+            (In_channel.with_open_bin path In_channel.input_all)
+        with
+        | Error m -> Error (`Msg (Printf.sprintf "%s: %s" path m))
+        | Ok j -> (
+          match Harness.Matrix.spec_of_json ~base j with
+          | Ok s -> Ok s
+          | Error m -> Error (`Msg (Printf.sprintf "%s: %s" path m))))
+    in
+    let spec_meta =
+      [
+        ( "apps",
+          Report.Json.Arr
+            (List.map
+               (fun a -> Report.Json.Str a)
+               s.Harness.Matrix.apps) );
+        ( "policies",
+          Report.Json.Arr
+            (List.map
+               (fun p -> Report.Json.Str (Core.Policy.to_string p))
+               s.Harness.Matrix.policies) );
+        ( "errors",
+          Report.Json.Arr
+            (List.map (fun e -> Report.Json.Int e) s.Harness.Matrix.errors) );
+        meta_int "trials" s.Harness.Matrix.trials;
+        meta_int "seed" s.Harness.Matrix.seed;
+        ( "literal",
+          Report.Json.Bool (s.Harness.Matrix.mode = Harness.Experiment.Literal)
+        );
+        ("engine", Report.Json.Str (Sim.Interp.engine_name engine));
+        meta_jobs jobs;
+        ("checkpoint_stride", Report.Json.of_int_opt checkpoint_stride);
+        ("cache_dir", Report.Json.Str cache_dir);
+      ]
+    in
+    with_obs ~trace ~metrics ~command:"matrix" ~meta:spec_meta @@ fun () ->
+    let store = Core.Memo.Store.open_ cache_dir in
+    let r =
+      Harness.Matrix.run ?jobs ~engine ?checkpoint_stride ~store s
+    in
+    let t = Harness.Matrix.totals r in
+    let meta =
+      spec_meta
+      @ [
+          meta_int "cells_requested" t.Harness.Matrix.requested;
+          meta_int "cells_ok" t.Harness.Matrix.ok;
+          meta_int "cells_skipped" t.Harness.Matrix.skipped;
+          meta_int "cells_failed" t.Harness.Matrix.failed;
+          meta_int "cells_hit" t.Harness.Matrix.cells_hit;
+          meta_int "cells_miss" t.Harness.Matrix.cells_miss;
+          meta_int "trials_reused" t.Harness.Matrix.trials_reused;
+          meta_int "trials_run" t.Harness.Matrix.trials_run;
+        ]
+    in
+    emit ?json ~command:"matrix" ~meta
+      [ Harness.Matrix.to_table r; Harness.Matrix.anomaly_table r ];
+    say
+      "cells: %d requested, %d ok (%d fully cached, %d executed), %d \
+       skipped, %d failed | trials: %d reused, %d run | cache: %s"
+      t.Harness.Matrix.requested t.Harness.Matrix.ok
+      t.Harness.Matrix.cells_hit t.Harness.Matrix.cells_miss
+      t.Harness.Matrix.skipped t.Harness.Matrix.failed
+      t.Harness.Matrix.trials_reused t.Harness.Matrix.trials_run cache_dir;
+    match Harness.Matrix.failures r with
+    | [] -> Ok ()
+    | fs ->
+      Error
+        (`Msg
+          (Printf.sprintf "%d matrix cell(s) failed:\n%s" (List.length fs)
+             (String.concat "\n"
+                (List.map (fun (l, m) -> "  " ^ l ^ ": " ^ m) fs))))
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Sweep apps x policies x error counts through the result cache: \
+          every cell gets a typed status (ok/skipped/failed), anomalies \
+          are clustered and ranked, and any failed cell exits non-zero")
+    Term.(
+      term_result
+        (const action $ apps_arg $ policies_arg $ errors_list_arg
+       $ trials_arg $ seed_arg $ literal_arg $ spec_arg $ engine_arg
+       $ jobs_arg $ stride_arg $ matrix_cache_dir_arg $ json_arg $ trace_arg
+       $ metrics_arg))
+
 let asm_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
@@ -807,6 +980,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; tag_cmd; sections_cmd; disasm_cmd; asm_cmd;
-            compile_cmd; inject_cmd; audit_cmd; profile_cmd; table2_cmd;
+            compile_cmd; inject_cmd; matrix_cmd; audit_cmd; profile_cmd; table2_cmd;
             table3_cmd; figure_cmd; ablation_cmd;
           ]))

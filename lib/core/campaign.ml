@@ -27,6 +27,10 @@ type target = {
   engine : Sim.Interp.engine;
       (* which interpreter executes trials; the fast engine compiles a
          per-policy closure image at [prepare] time *)
+  baseline_digest : string;
+      (* content digest of the baseline's final memory image, computed
+         once here: cache keys (lib/core/memo) fold it into every group
+         key, and a sweep evaluates many keys per target *)
 }
 
 type prepared = {
@@ -81,7 +85,8 @@ let of_prog ?protect_addresses ?(lenient = true)
      supports — engine choice applies to trials, not to this run. *)
   let baseline = Sim.Interp.run_exn ~count_exec:true code in
   let proto = Sim.Memory.of_prog ~lenient prog in
-  { code; tagging; baseline; lenient; proto; engine }
+  let baseline_digest = Sim.Memory.digest baseline.Sim.Interp.memory in
+  { code; tagging; baseline; lenient; proto; engine; baseline_digest }
 
 (* The injectable pool needs no profiling interpretation: the baseline
    already counted every dynamic execution, and the fault hook fires

@@ -28,6 +28,10 @@ type target = {
   engine : Sim.Interp.engine;
       (** which interpreter executes trials (default [Fast]); the
           baseline and taint trials always use the reference loop *)
+  baseline_digest : string;
+      (** {!Sim.Memory.digest} of the baseline's final image, computed
+          once per target so batch consumers (the result cache, the
+          matrix sweep runner) key many cells without re-digesting *)
 }
 
 type prepared = {
@@ -85,6 +89,13 @@ val of_prog :
     [engine] (default [Fast]) selects the trial interpreter; both
     engines produce bit-identical summaries (the differential suite in
     [test_engine] pins this). *)
+
+val injectable_pool : target -> bool array array -> int
+(** Size of the injectable pool under a tag mask: the sum of the
+    baseline's exec counts over tagged slots. What {!prepare} computes,
+    exposed separately so batch callers (the matrix sweep runner) can
+    detect an empty pool — and skip the cell — without paying for the
+    checkpointing pass and engine compilation a full prepare implies. *)
 
 val prepare : ?checkpoint_stride:int -> target -> Policy.t -> prepared
 (** Size the injectable pool (arithmetically, from the baseline's exec

@@ -85,11 +85,23 @@ module Store = struct
 
   (* Atomic publish: write to a temp file in the same directory, then
      rename over the final path. A concurrent reader sees either the
-     old entry or the new one, never a torn write. *)
+     old entry or the new one, never a torn write. The temp name is
+     unique per (process, domain, save) — a shared [p ^ ".tmp"] would
+     let two concurrent writers of the same group key truncate each
+     other's half-written file and rename torn JSON into place, voiding
+     the atomic-rename contract the loaders rely on. Concurrent saves
+     of the same key are idempotent (keys are content addresses), so
+     whichever rename lands last wins harmlessly. *)
+  let tmp_counter = Atomic.make 0
+
   let save t ~key (v : J.t) =
     let p = path t ~key in
     mkdir_p (Filename.dirname p);
-    let tmp = p ^ ".tmp" in
+    let tmp =
+      Printf.sprintf "%s.%d.%d.%d.tmp" p (Unix.getpid ())
+        (Domain.self () :> int)
+        (Atomic.fetch_and_add tmp_counter 1)
+    in
     Out_channel.with_open_bin tmp (fun oc ->
         Out_channel.output_string oc (J.to_string v));
     Sys.rename tmp p
@@ -310,8 +322,7 @@ let group_key (p : Campaign.prepared) ~section_hash ~salt ~scored ~errors
     (Printf.sprintf " lenient=%b scored=%b salt=%s" t.Campaign.lenient scored
        salt);
   Buffer.add_string b
-    (Printf.sprintf "\ngolden=%s dyn=%d"
-       (Sim.Memory.digest t.Campaign.baseline.Sim.Interp.memory)
+    (Printf.sprintf "\ngolden=%s dyn=%d" t.Campaign.baseline_digest
        t.Campaign.baseline.Sim.Interp.dyn_count);
   List.iter
     (fun (i, first, entry) ->
@@ -347,10 +358,15 @@ let cached_trials (v : J.t) ~(expect : int list) : Campaign.trial list option
     | exception (Bad_entry | Failure _) -> None)
   | _ -> None
 
-let run ?jobs ?score ?(salt = "") ~(store : Store.t) (p : Campaign.prepared)
-    ~errors ~trials ~seed : Campaign.summary * stats =
+let run ?jobs ?score ?(salt = "") ?sections ~(store : Store.t)
+    (p : Campaign.prepared) ~errors ~trials ~seed : Campaign.summary * stats =
   let t0 = Obs.span_begin () in
-  let sections = sections_of p in
+  (* Batch callers (the matrix sweep runner) compute the partition once
+     per prepared target and pass it to every cell that shares the
+     target; one-shot callers let each run derive it. *)
+  let sections =
+    match sections with Some s -> s | None -> sections_of p
+  in
   let entry_fid = p.Campaign.target.Campaign.code.Sim.Code.entry_fid in
   let firsts = Array.init trials (first_ordinal p ~errors ~seed) in
   let needed =

@@ -42,6 +42,17 @@ module Store : sig
   (** Create (mkdir -p) or reopen the store rooted at the path. *)
 
   val root : t -> string
+
+  val load : t -> key:string -> Report.Json.t option
+  (** The entry stored under [key], or [None] when absent, corrupt or
+      carrying a foreign schema marker. *)
+
+  val save : t -> key:string -> Report.Json.t -> unit
+  (** Atomically publish an entry: the document is written to a
+      temp file unique per (process, domain, save) and renamed over the
+      final path, so concurrent writers of the same key — domains of
+      one matrix run, or separate processes sharing a store — never
+      expose a torn entry to a reader. *)
 end
 
 val sections_of : Campaign.prepared -> Analysis.Section.t
@@ -68,6 +79,7 @@ val run :
   ?jobs:int ->
   ?score:(Sim.Interp.result -> float) ->
   ?salt:string ->
+  ?sections:Analysis.Section.t ->
   store:Store.t ->
   Campaign.prepared ->
   errors:int ->
@@ -85,4 +97,9 @@ val run :
     [salt] folds an out-of-band identity into every key — callers pass
     the app name (and anything else that selects the scorer/workload)
     because a [score] closure itself cannot be hashed. [jobs] fans the
-    misses out over domains; results are jobs-invariant. *)
+    misses out over domains; results are jobs-invariant.
+
+    [sections] lets a batch caller (the matrix sweep runner) compute
+    {!sections_of} once per prepared target and share it across every
+    cell on that target; it must be the partition of exactly this
+    prepared's program and tag mask. *)

@@ -101,7 +101,12 @@ let pipeline_program ~smooth_eligible ~detect_eligible =
     Array.init n (fun k ->
         let base = 100.0 *. sin (float_of_int k /. 9.0) in
         let spike = if k mod 61 >= 16 && k mod 61 <= 18 then 400 else 0 in
-        Int32.of_int (int_of_float base + spike + 500))
+        (* Total conversion (not raw [int_of_float], unspecified off the
+           int range) so sample generation stays defined whatever the
+           expression above evolves into. Same clamp as
+           [Memory.read_global_ints]; [base] is in [-100, 100] today,
+           so the emitted samples are unchanged. *)
+        Int32.of_int (Sim.Memory.int_of_float_total base + spike + 500))
   in
   program
     [ garray_init "raw" samples; garray "smooth" n; garray "peaks" 16;

@@ -56,6 +56,13 @@ val read_global_ints : t -> Ir.Prog.t -> string -> int array
     doubles (reachable after float injection) read as [0] instead of
     the platform's unspecified [int_of_float] result. *)
 
+val int_of_float_total : float -> int
+(** The total conversion {!read_global_ints} uses: truncation for
+    finite doubles inside the 32-bit int range, [0] for everything
+    [int_of_float] leaves unspecified (nan, infinities, out-of-range).
+    Exposed so other float-to-int sites (workload/score extraction)
+    share one defined behaviour instead of raw [int_of_float]. *)
+
 val read_global_flts : t -> Ir.Prog.t -> string -> float array
 
 val digest : t -> string

@@ -5,6 +5,8 @@
 # documents' basic shape) from drifting silently.
 #
 #   check_schemas.sh report FILE    # etap-report/1 (etap --json, bench --json)
+#   check_schemas.sh matrix FILE    # etap-report/1 from `etap matrix --json`
+#                                   # (typed cell statuses + cache meta)
 #   check_schemas.sh trace FILE     # etap-trace/1  (--trace)
 #   check_schemas.sh metrics FILE   # etap-metrics/1 (--metrics, JSONL)
 #   check_schemas.sh cache FILE     # etap-cache/1  (one _etap_cache/ entry)
@@ -13,7 +15,7 @@
 # Uses python3's json module (present on CI runners); no jq dependency.
 set -euo pipefail
 
-usage="usage: check_schemas.sh report|trace|metrics|cache FILE"
+usage="usage: check_schemas.sh report|matrix|trace|metrics|cache FILE"
 kind="${1:?$usage}"
 file="${2:?$usage}"
 
@@ -96,7 +98,7 @@ elif kind == "cache":
             indices.append(t["index"])
         expect(indices == sorted(indices), f"{fp}: trial indices not ascending")
     print(f"checked {len(files)} cache entr{'y' if len(files) == 1 else 'ies'}")
-elif kind == "report":
+elif kind in ("report", "matrix"):
     doc = json.load(open(path))
     expect(doc.get("schema") == "etap-report/1",
            f"bad schema marker {doc.get('schema')!r}")
@@ -107,6 +109,28 @@ elif kind == "report":
         for row in t["rows"]:
             expect(list(row.keys()) == keys,
                    f"table {t['id']}: row keys diverge from columns")
+    if kind == "matrix":
+        # A matrix report additionally carries typed per-cell statuses
+        # and cache accounting in its meta — the fail-fast contract of
+        # `etap matrix`.
+        ids = {t["id"] for t in doc["tables"]}
+        expect({"matrix", "matrix_anomalies"} <= ids,
+               f"matrix report missing tables (got {sorted(ids)})")
+        cells = next(t for t in doc["tables"] if t["id"] == "matrix")["rows"]
+        expect(cells, "matrix table has no cells")
+        for row in cells:
+            expect(row.get("status") in ("ok", "skipped", "failed"),
+                   f"bad cell status {row.get('status')!r}")
+        meta = doc.get("meta", {})
+        for k in ("cells_requested", "cells_ok", "cells_skipped",
+                  "cells_failed", "cells_hit", "cells_miss",
+                  "trials_reused", "trials_run"):
+            expect(isinstance(meta.get(k), int), f"meta {k} not an int")
+        expect(meta["cells_requested"] == len(cells),
+               "meta cells_requested != matrix row count")
+        expect(meta["cells_requested"]
+               == meta["cells_ok"] + meta["cells_skipped"] + meta["cells_failed"],
+               "cell status counts do not sum to cells_requested")
 else:
     fail(f"unknown kind {kind!r}")
 

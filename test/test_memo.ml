@@ -409,6 +409,144 @@ let test_empty_plan_bucket () =
       check_same_records "errors=0 warm" mono s2;
       Alcotest.(check int) "entry bucket hit" 1 st2.Core.Memo.hits)
 
+(* ------------------------- concurrency ----------------------------- *)
+
+(* The store's atomic-publish contract under real concurrency: unique
+   temp names (pid + domain + counter) mean parallel writers of the
+   same key never truncate each other's in-flight temp file, so a
+   reader observes either nothing or one writer's complete document —
+   never a torn or mixed one. *)
+
+let list_store_files dir =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter (fun e -> walk (Filename.concat path e)) (Sys.readdir path)
+    else acc := path :: !acc
+  in
+  if Sys.file_exists dir then walk dir;
+  !acc
+
+let test_store_save_race () =
+  let dir = fresh_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store = Core.Memo.Store.open_ dir in
+      let key = String.make 32 'a' in
+      let blob i = String.make 4096 (Char.chr (65 + (i mod 26))) in
+      let payload i =
+        Report.Json.Obj
+          [
+            ("schema", Report.Json.Str Core.Memo.Store.schema);
+            ("writer", Report.Json.Int i);
+            ("blob", Report.Json.Str (blob i));
+          ]
+      in
+      let writers =
+        List.init 4 (fun i ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 50 do
+                  Core.Memo.Store.save store ~key (payload i)
+                done))
+      in
+      let readers =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let bad = ref 0 in
+                for _ = 1 to 400 do
+                  match Core.Memo.Store.load store ~key with
+                  | None -> ()  (* not yet published *)
+                  | Some (Report.Json.Obj kvs) -> (
+                    match
+                      ( List.assoc_opt "writer" kvs,
+                        List.assoc_opt "blob" kvs )
+                    with
+                    | Some (Report.Json.Int i), Some (Report.Json.Str s)
+                      when s = blob i ->
+                      ()
+                    | _ -> incr bad)
+                  | Some _ -> incr bad
+                done;
+                !bad))
+      in
+      List.iter Domain.join writers;
+      let torn = List.map Domain.join readers in
+      Alcotest.(check (list int)) "no torn or mixed reads" [ 0; 0 ] torn;
+      (match Core.Memo.Store.load store ~key with
+       | Some (Report.Json.Obj kvs) ->
+         Alcotest.(check bool) "final entry is one writer's document" true
+           (match List.assoc_opt "writer" kvs with
+            | Some (Report.Json.Int i) -> i >= 0 && i < 4
+            | _ -> false)
+       | _ -> Alcotest.fail "final entry unreadable after the race");
+      Alcotest.(check (list string))
+        "no temp files survive the race" []
+        (List.filter
+           (fun f -> Filename.check_suffix f ".tmp")
+           (list_store_files dir)))
+
+(* N domains race whole campaigns (overlapping group keys, jobs=1 each
+   so nothing nests the pool) against one store. Afterwards every entry
+   on disk must raw-parse as a complete etap-cache/1 document, no temp
+   litter may remain, and a warm run must be all-hits and bit-exact
+   against the monolithic campaign. *)
+let concurrent_writers_qcheck =
+  QCheck.Test.make ~count:6
+    ~name:"concurrent campaign writers: store stays valid, hits bit-exact"
+    QCheck.(pair (int_range 2 4) (int_bound 2))
+    (fun (ndomains, seed_off) ->
+      let b = built "adpcm" in
+      let errors_list = [ 1; 3 ] in
+      let trials = 8 and seed = 5 + seed_off in
+      let target = Core.Campaign.of_prog b.Apps.App.prog in
+      let p = Core.Campaign.prepare target Core.Policy.Protect_nothing in
+      let dir = fresh_cache_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let store = Core.Memo.Store.open_ dir in
+          let domains =
+            List.init ndomains (fun _ ->
+                Domain.spawn (fun () ->
+                    List.iter
+                      (fun errors ->
+                        ignore
+                          (Core.Memo.run ~jobs:1 ~store p ~errors ~trials
+                             ~seed))
+                      errors_list))
+          in
+          List.iter Domain.join domains;
+          let files = list_store_files dir in
+          let entries_valid =
+            files <> []
+            && List.for_all
+                 (fun f ->
+                   (not (Filename.check_suffix f ".tmp"))
+                   &&
+                   match
+                     Report.Json.of_string
+                       (In_channel.with_open_bin f In_channel.input_all)
+                   with
+                   | Ok j ->
+                     Report.Json.member "schema" j
+                     = Some (Report.Json.Str Core.Memo.Store.schema)
+                   | Error _ -> false)
+                 files
+          in
+          entries_valid
+          && List.for_all
+               (fun errors ->
+                 let mono =
+                   Core.Campaign.run ~jobs:1 p ~errors ~trials ~seed
+                 in
+                 let s, st =
+                   Core.Memo.run ~jobs:1 ~store p ~errors ~trials ~seed
+                 in
+                 st.Core.Memo.trials_run = 0
+                 && compare (summary_core mono) (summary_core s) = 0)
+               errors_list))
+
 let () =
   Alcotest.run "memo"
     [
@@ -444,5 +582,11 @@ let () =
             test_corrupt_store_degrades;
           Alcotest.test_case "empty plans go to the entry bucket" `Quick
             test_empty_plan_bucket;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "save race: atomic publish, unique temps" `Quick
+            test_store_save_race;
+          QCheck_alcotest.to_alcotest concurrent_writers_qcheck;
         ] );
     ]
