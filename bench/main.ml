@@ -476,6 +476,193 @@ let run_matrix ~quick ?jobs () : mx_cell list =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* `etap serve` daemon: the same inject request cold, warm (second
+   request against the now-populated registry and result cache) and as
+   a coalesced pair (two identical in-flight requests on one daemon).
+   All three drive the real connection handler over pipes, so the
+   measurement covers the full protocol path the CLI client sees.
+   Hard guards: warm and coalesced responses carry tables bit-identical
+   to the cold run's, the warm request executes zero trials and lands
+   under 0.1x the cold wall, and the coalesced pair runs trials exactly
+   once (serve.coalesced = 1, campaign.trials equal to a single
+   request's). *)
+
+type sv_cell = {
+  sv_label : string;
+  sv_trials : int;  (* per policy *)
+  sv_cold_s : float;
+  sv_warm_s : float;
+  sv_coalesced : int;  (* serve.coalesced during the pair *)
+  sv_pair_trials : int;  (* campaign.trials during the pair *)
+  sv_single_trials : int;  (* campaign.trials during the cold run *)
+}
+
+(* One request/response exchange against [t]'s connection handler,
+   running the handler on its own systhread with a pipe pair standing
+   in for the socket. *)
+let serve_request (t : Harness.Serve.t) (line : string) : string =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr req_r in
+  let oc = Unix.out_channel_of_descr resp_w in
+  let handler =
+    Thread.create
+      (fun () ->
+        ignore (Harness.Serve.serve_connection t ~ic ~oc);
+        close_out_noerr oc)
+      ()
+  in
+  let req = Unix.out_channel_of_descr req_w in
+  output_string req line;
+  output_char req '\n';
+  close_out req;
+  let resp_ic = Unix.in_channel_of_descr resp_r in
+  let resp = input_line resp_ic in
+  Thread.join handler;
+  close_in_noerr resp_ic;
+  close_in_noerr ic;
+  resp
+
+(* The identity surface of a served report: its tables. Cache-stat
+   meta (hits, reused trials) legitimately varies with cache state. *)
+let serve_tables (resp : string) : string =
+  match Harness.Proto.reply_of_line resp with
+  | Error m -> failwith ("serve: unreadable response: " ^ m)
+  | Ok r ->
+    if not r.Harness.Proto.ok then
+      failwith
+        ("serve: request failed: "
+        ^ Option.value ~default:"(no error)" r.Harness.Proto.error);
+    (match r.Harness.Proto.report with
+     | None -> failwith "serve: ok response without a report"
+     | Some rep -> (
+       match Report.Json.member "tables" rep with
+       | Some t -> Report.Json.to_compact_string t
+       | None -> failwith "serve: response report without tables"))
+
+let sink_counter sink name =
+  Option.value ~default:0
+    (List.assoc_opt name (Obs.view sink).Obs.counters)
+
+let run_serve ~quick ?jobs () : sv_cell list =
+  section "`etap serve` — cold vs warm vs coalesced on one daemon";
+  let trials = if quick then 8 else 25 in
+  let errors = 3 in
+  let line =
+    Report.Json.to_compact_string
+      (Report.Json.Obj
+         [
+           ("id", Report.Json.Int 1);
+           ("cmd", Report.Json.Str "inject");
+           ("app", Report.Json.Str "gsm");
+           ("errors", Report.Json.Int errors);
+           ("trials", Report.Json.Int trials);
+         ])
+  in
+  let cache = "_bench_serve_cache" in
+  let config gate =
+    { Harness.Serve.default_config with cache_dir = cache; jobs; gate }
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Cold then warm: same daemon, same request. *)
+  rm_rf cache;
+  let t = Harness.Serve.create ~config:(config None) () in
+  let sink_cold = Obs.make () in
+  let cold_resp, cold_s =
+    wall (fun () ->
+        timed "serve_cold" (fun () ->
+            Obs.with_sink sink_cold (fun () -> serve_request t line)))
+  in
+  let sink_warm = Obs.make () in
+  let warm_resp, warm_s =
+    wall (fun () ->
+        timed "serve_warm" (fun () ->
+            Obs.with_sink sink_warm (fun () -> serve_request t line)))
+  in
+  Harness.Serve.shutdown t;
+  let cold_tables = serve_tables cold_resp in
+  if serve_tables warm_resp <> cold_tables then
+    failwith "serve: warm response diverges from cold";
+  if sink_counter sink_warm "campaign.trials" > 0 then
+    failwith "serve: warm request re-executed trials";
+  (* The 50 ms absolute floor keeps scheduler noise on a tiny warm
+     request from failing the ratio when cold itself is fast. *)
+  if warm_s > 0.1 *. cold_s && warm_s > 0.05 then
+    failwith
+      (Printf.sprintf
+         "serve: warm request too slow (%.3f s vs cold %.3f s, > 0.1x)"
+         warm_s cold_s);
+  (* Coalesced pair: fresh daemon, fresh cache, two identical requests
+     in flight at once. The gate parks the winner until the second
+     request has attached, so the overlap is deterministic rather than
+     a race against campaign wall time. *)
+  rm_rf cache;
+  let tref = ref None in
+  let gate key =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec wait () =
+      match !tref with
+      | Some t2 when Harness.Serve.inflight_waiters t2 ~key >= 1 -> ()
+      | _ ->
+        if Unix.gettimeofday () < deadline then begin
+          Thread.yield ();
+          wait ()
+        end
+    in
+    wait ()
+  in
+  let t2 = Harness.Serve.create ~config:(config (Some gate)) () in
+  tref := Some t2;
+  let sink_pair = Obs.make () in
+  let (pair_a, pair_b), pair_s =
+    wall (fun () ->
+        timed "serve_coalesced" (fun () ->
+            Obs.with_sink sink_pair (fun () ->
+                let ra = ref "" and rb = ref "" in
+                let th_a = Thread.create (fun () -> ra := serve_request t2 line) () in
+                let th_b = Thread.create (fun () -> rb := serve_request t2 line) () in
+                Thread.join th_a;
+                Thread.join th_b;
+                (!ra, !rb))))
+  in
+  Harness.Serve.shutdown t2;
+  rm_rf cache;
+  let coalesced = sink_counter sink_pair "serve.coalesced" in
+  if coalesced <> 1 then
+    failwith
+      (Printf.sprintf "serve: expected 1 coalesced request, saw %d" coalesced);
+  let pair_trials = sink_counter sink_pair "campaign.trials" in
+  let single_trials = sink_counter sink_cold "campaign.trials" in
+  if pair_trials <> single_trials then
+    failwith
+      (Printf.sprintf
+         "serve: coalesced pair ran %d trials, single request ran %d"
+         pair_trials single_trials);
+  if serve_tables pair_a <> cold_tables || serve_tables pair_b <> cold_tables
+  then failwith "serve: coalesced responses diverge from a standalone run";
+  say
+    "  gsm inject e%d t%d: cold %6.2f s, warm %6.2f s (%.2fx), coalesced \
+     pair %6.2f s  [%d trials once, records identical]"
+    errors trials cold_s warm_s
+    (warm_s /. Float.max cold_s 1e-9)
+    pair_s pair_trials;
+  [
+    {
+      sv_label = Printf.sprintf "gsm e%d" errors;
+      sv_trials = trials;
+      sv_cold_s = cold_s;
+      sv_warm_s = warm_s;
+      sv_coalesced = coalesced;
+      sv_pair_trials = pair_trials;
+      sv_single_trials = single_trials;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the platform itself.                   *)
 
 let micro () : (string * float * float option) list =
@@ -622,25 +809,35 @@ let micro () : (string * float * float option) list =
 let round3 x = Float.round (x *. 1000.0) /. 1000.0
 
 let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~incremental
-    ~matrix ~total : Report.t =
+    ~matrix ~serve ~total : Report.t =
   let secs v = Report.num ~text:(Printf.sprintf "%.3f s" v) v in
   let timing_table ~id ~title ~key ~unit rows =
     Report.table ~id ~title
-      ~columns:[ Report.column ~key:"name" "name"; Report.column ~key unit ]
+      ~columns:
+        [
+          Report.column ~key:"name" "name";
+          Report.column ~key unit;
+          Report.column ~key:"skipped" "skipped";
+        ]
       (List.map
          (fun (name, v) ->
+           (* Entries whose wall rounds to 0.000 are experiments that
+              did no fresh work this run (their inputs were memoized
+              by an earlier experiment — e.g. table3 behind
+              load_apps in quick mode). The explicit [skipped]
+              boolean is the marker consumers key on; the wall cell
+              is null exactly when it is true, so skipped rows stay
+              out of perf-trajectory diffs instead of contributing a
+              misleading 0.0 — and a null wall can no longer be
+              confused with a lost measurement. *)
+           let skipped = v < 0.0005 in
            [
              Report.text name;
-             (* Entries whose wall rounds to 0.000 are experiments that
-                did no fresh work this run (their inputs were memoized
-                by an earlier experiment — e.g. table3 behind
-                load_apps in quick mode). An explicit marker (JSON
-                null) keeps them out of perf-trajectory diffs instead
-                of contributing a misleading 0.0. *)
-             (if v < 0.0005 then Report.Missing "skipped"
+             (if skipped then Report.Missing "skipped"
               else
                 let v = round3 v in
                 Report.num ~text:(Printf.sprintf "%.3f" v) v);
+             Report.bool skipped;
            ])
          rows)
   in
@@ -752,6 +949,37 @@ let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~incremental
            ])
          incremental)
   in
+  let serve_table =
+    Report.table ~id:"serve"
+      ~title:"etap serve: cold vs warm vs coalesced pair on one daemon"
+      ~columns:
+        (List.map
+           (fun (k, l) -> Report.column ~key:k l)
+           [
+             ("cell", "cell");
+             ("trials_per_policy", "trials/policy");
+             ("cold_wall_s", "cold s");
+             ("warm_wall_s", "warm s");
+             ("warm_ratio", "warm/cold");
+             ("coalesced", "coalesced");
+             ("pair_trials_run", "pair trials");
+             ("single_trials_run", "single trials");
+           ])
+      (List.map
+         (fun c ->
+           [
+             Report.text c.sv_label;
+             Report.int c.sv_trials;
+             secs (round3 c.sv_cold_s);
+             secs (round3 c.sv_warm_s);
+             (let r = round3 (c.sv_warm_s /. Float.max c.sv_cold_s 1e-9) in
+              Report.num ~text:(Printf.sprintf "%.2fx" r) r);
+             Report.int c.sv_coalesced;
+             Report.int c.sv_pair_trials;
+             Report.int c.sv_single_trials;
+           ])
+         serve)
+  in
   Report.make ~command:"bench"
     ~meta:
       [
@@ -785,6 +1013,7 @@ let bench_report ~jobs ~quick ~experiments ~micro ~checkpoint ~incremental
       checkpoint_table;
       incremental_table;
       matrix_table;
+      serve_table;
     ]
 
 let write_json (path, oc) report =
@@ -856,7 +1085,7 @@ let () =
     || List.exists
          (fun a ->
            a <> "micro" && a <> "checkpoint" && a <> "incremental"
-           && a <> "matrix")
+           && a <> "matrix" && a <> "serve")
          args
   in
   let t0 = Unix.gettimeofday () in
@@ -883,6 +1112,9 @@ let () =
   in
   let matrix_results =
     if want "matrix" then run_matrix ~quick ?jobs () else []
+  in
+  let serve_results =
+    if want "serve" then run_serve ~quick ?jobs () else []
   in
   let micro_results = if want "micro" then timed "micro" micro else [] in
   let total = Unix.gettimeofday () -. t0 in
@@ -930,4 +1162,5 @@ let () =
     write_json dest
       (bench_report ~jobs ~quick ~experiments:!experiment_times
          ~micro:micro_results ~checkpoint:checkpoint_results
-         ~incremental:incremental_results ~matrix:matrix_results ~total)
+         ~incremental:incremental_results ~matrix:matrix_results
+         ~serve:serve_results ~total)

@@ -434,72 +434,16 @@ let inject_cmd =
         match json with
         | None -> ()
         | Some path ->
-          let table =
-            Report.table ~id:"inject"
-              ~title:
-                (Printf.sprintf "Fault-injection campaign: %s, %d errors"
-                   name errors)
-              ~columns:
-                [
-                  Report.column ~key:"policy" "policy";
-                  Report.column ~key:"trials" "trials";
-                  Report.column ~key:"errors_planned" "errors planned";
-                  Report.column ~key:"pct_catastrophic" "% catastrophic";
-                  Report.column ~key:"crashes" "crashes";
-                  Report.column ~key:"infinite" "infinite";
-                  Report.column ~key:"completed" "completed";
-                  Report.column ~key:"mean_fidelity" "mean fidelity";
-                ]
-              (List.map
-                 (fun (policy, s) ->
-                   [
-                     Report.text (Core.Policy.to_string policy);
-                     Report.int (Core.Campaign.n s);
-                     Report.int s.Core.Campaign.errors_planned;
-                     Report.pct (Core.Campaign.pct_catastrophic s);
-                     Report.int (Core.Campaign.crashes s);
-                     Report.int (Core.Campaign.infinite s);
-                     Report.int (Core.Campaign.completed s);
-                     Report.opt ~missing:"n/a"
-                       (fun m ->
-                         Report.num ~text:(Printf.sprintf "%.1f" m) m)
-                       (Core.Campaign.mean_fidelity s);
-                   ])
-                 summaries)
-          in
+          (* The document itself comes from the builder the serve
+             daemon uses, so the two surfaces cannot drift apart. *)
           Report.write_json ~path
-            (Report.make ~command:"inject"
-               ~meta:
-                 ([
-                    ("app", Report.Json.Str name);
-                    meta_int "errors" errors;
-                    meta_int "trials" trials;
-                    meta_int "seed" seed;
-                    ("literal", Report.Json.Bool literal);
-                    ( "engine",
-                      Report.Json.Str (Sim.Interp.engine_name engine) );
-                    meta_jobs jobs;
-                    ( "checkpoint_stride",
-                      Report.Json.of_int_opt checkpoint_stride );
-                    ( "fidelity_units",
-                      Report.Json.Str b.Apps.App.fidelity_units );
-                    ("incremental", Report.Json.Bool incremental);
-                    ( "cache_dir",
-                      if incremental then Report.Json.Str cache_dir
-                      else Report.Json.Null );
-                  ]
-                 @
-                 if not incremental then []
-                 else
-                   let st = !cache_total in
-                   [
-                     meta_int "cache_sections" st.Core.Memo.sections;
-                     meta_int "cache_hits" st.Core.Memo.hits;
-                     meta_int "cache_misses" st.Core.Memo.misses;
-                     meta_int "cache_trials_reused" st.Core.Memo.trials_reused;
-                     meta_int "cache_trials_run" st.Core.Memo.trials_run;
-                   ])
-               [ table ]);
+            (Harness.Serve.inject_report ~app:name ~errors ~trials ~seed
+               ~literal ~engine ~jobs ~checkpoint_stride
+               ~fidelity_units:b.Apps.App.fidelity_units
+               ~cache:
+                 (if incremental then Some (cache_dir, !cache_total)
+                  else None)
+               summaries);
           say "wrote %s" path)
       (find_app name)
   in
@@ -608,30 +552,7 @@ let matrix_cmd =
           | Error m -> Error (`Msg (Printf.sprintf "%s: %s" path m))))
     in
     let spec_meta =
-      [
-        ( "apps",
-          Report.Json.Arr
-            (List.map
-               (fun a -> Report.Json.Str a)
-               s.Harness.Matrix.apps) );
-        ( "policies",
-          Report.Json.Arr
-            (List.map
-               (fun p -> Report.Json.Str (Core.Policy.to_string p))
-               s.Harness.Matrix.policies) );
-        ( "errors",
-          Report.Json.Arr
-            (List.map (fun e -> Report.Json.Int e) s.Harness.Matrix.errors) );
-        meta_int "trials" s.Harness.Matrix.trials;
-        meta_int "seed" s.Harness.Matrix.seed;
-        ( "literal",
-          Report.Json.Bool (s.Harness.Matrix.mode = Harness.Experiment.Literal)
-        );
-        ("engine", Report.Json.Str (Sim.Interp.engine_name engine));
-        meta_jobs jobs;
-        ("checkpoint_stride", Report.Json.of_int_opt checkpoint_stride);
-        ("cache_dir", Report.Json.Str cache_dir);
-      ]
+      Harness.Matrix.spec_meta ~engine ~jobs ~checkpoint_stride ~cache_dir s
     in
     with_obs ~trace ~metrics ~command:"matrix" ~meta:spec_meta @@ fun () ->
     let store = Core.Memo.Store.open_ cache_dir in
@@ -640,17 +561,7 @@ let matrix_cmd =
     in
     let t = Harness.Matrix.totals r in
     let meta =
-      spec_meta
-      @ [
-          meta_int "cells_requested" t.Harness.Matrix.requested;
-          meta_int "cells_ok" t.Harness.Matrix.ok;
-          meta_int "cells_skipped" t.Harness.Matrix.skipped;
-          meta_int "cells_failed" t.Harness.Matrix.failed;
-          meta_int "cells_hit" t.Harness.Matrix.cells_hit;
-          meta_int "cells_miss" t.Harness.Matrix.cells_miss;
-          meta_int "trials_reused" t.Harness.Matrix.trials_reused;
-          meta_int "trials_run" t.Harness.Matrix.trials_run;
-        ]
+      Harness.Matrix.report_meta ~engine ~jobs ~checkpoint_stride ~cache_dir r
     in
     emit ?json ~command:"matrix" ~meta
       [ Harness.Matrix.to_table r; Harness.Matrix.anomaly_table r ];
@@ -661,14 +572,9 @@ let matrix_cmd =
       t.Harness.Matrix.cells_hit t.Harness.Matrix.cells_miss
       t.Harness.Matrix.skipped t.Harness.Matrix.failed
       t.Harness.Matrix.trials_reused t.Harness.Matrix.trials_run cache_dir;
-    match Harness.Matrix.failures r with
-    | [] -> Ok ()
-    | fs ->
-      Error
-        (`Msg
-          (Printf.sprintf "%d matrix cell(s) failed:\n%s" (List.length fs)
-             (String.concat "\n"
-                (List.map (fun (l, m) -> "  " ^ l ^ ": " ^ m) fs))))
+    match Harness.Matrix.failures_message r with
+    | None -> Ok ()
+    | Some msg -> Error (`Msg msg)
   in
   Cmd.v
     (Cmd.info "matrix"
@@ -968,6 +874,205 @@ let ablation_cmd =
     Term.(const action $ trials_arg $ jobs_arg $ json_arg $ trace_arg
           $ metrics_arg)
 
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Run the daemon on a Unix-domain socket at $(docv): one handler \
+       per connection, all sharing the warm registry, result cache and \
+       worker pool."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let stdio_arg =
+    let doc =
+      "Run the daemon over stdin/stdout: one connection, line-delimited \
+       etap-serve/1 requests in, responses out."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let connect_arg =
+    let doc =
+      "Client mode: connect to a daemon at $(docv), forward request \
+       lines from stdin, print each response line to stdout. Exits \
+       non-zero if any response has status $(b,failed)."
+    in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"PATH" ~doc)
+  in
+  let gc_bytes_arg =
+    let doc =
+      "Between requests, evict least-recently-used cache entries until \
+       the store fits under $(docv) bytes."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "gc-max-bytes" ] ~docv:"N" ~doc)
+  in
+  let gc_days_arg =
+    let doc =
+      "Between requests, evict cache entries not used for more than \
+       $(docv) days."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gc-max-age-days" ] ~docv:"D" ~doc)
+  in
+  let action socket stdio connect jobs engine checkpoint_stride cache_dir
+      gc_max_bytes gc_max_age_days trace metrics =
+    let config =
+      {
+        Harness.Serve.jobs;
+        engine;
+        checkpoint_stride;
+        cache_dir;
+        gc_max_bytes;
+        gc_max_age_days;
+        gate = None;
+      }
+    in
+    let daemon_exit t =
+      match Harness.Serve.failed_requests t with
+      | 0 -> Ok ()
+      | n ->
+        Error
+          (`Msg (Printf.sprintf "%d request(s) answered with status failed" n))
+    in
+    let meta transport =
+      [
+        ("transport", Report.Json.Str transport);
+        meta_jobs jobs;
+        ("engine", Report.Json.Str (Sim.Interp.engine_name engine));
+        ("checkpoint_stride", Report.Json.of_int_opt checkpoint_stride);
+        ("cache_dir", Report.Json.Str cache_dir);
+        ("gc_max_bytes", Report.Json.of_int_opt gc_max_bytes);
+        ( "gc_max_age_days",
+          match gc_max_age_days with
+          | None -> Report.Json.Null
+          | Some d -> Report.Json.Float d );
+      ]
+    in
+    match (connect, socket, stdio) with
+    | Some path, None, false ->
+      (* Client: pipe stdin request lines to the daemon, echo response
+         lines. The daemon does the work; no obs scope here. *)
+      let ic, oc = Harness.Serve.connect ~path in
+      let failed = ref 0 in
+      (try
+         while true do
+           let line = input_line stdin in
+           if String.trim line <> "" then begin
+             output_string oc line;
+             output_char oc '\n';
+             flush oc;
+             let resp = input_line ic in
+             print_endline resp;
+             match Harness.Proto.reply_of_line resp with
+             | Ok r when r.Harness.Proto.ok -> ()
+             | Ok _ | Error _ -> incr failed
+           end
+         done
+       with End_of_file | Sys_error _ -> ());
+      (try close_out oc with Sys_error _ -> ());
+      if !failed = 0 then Ok ()
+      else
+        Error (`Msg (Printf.sprintf "%d request(s) failed" !failed))
+    | None, Some path, false ->
+      with_obs ~trace ~metrics ~command:"serve" ~meta:(meta "socket")
+      @@ fun () ->
+      let t = Harness.Serve.create ~config () in
+      say "etap serve: listening on %s (cache: %s)" path cache_dir;
+      Harness.Serve.run_socket t ~path;
+      daemon_exit t
+    | None, None, true ->
+      (* stdout carries the protocol stream: no banner. *)
+      with_obs ~trace ~metrics ~command:"serve" ~meta:(meta "stdio")
+      @@ fun () ->
+      let t = Harness.Serve.create ~config () in
+      Harness.Serve.run_stdio t;
+      daemon_exit t
+    | _ ->
+      Error (`Msg "pass exactly one of --socket PATH, --stdio, --connect PATH")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running campaign daemon: answers line-delimited \
+          etap-serve/1 inject/matrix requests with the CLI's \
+          etap-report/1 documents, keeping loaded apps, compiled \
+          engines, prepared targets and section partitions warm across \
+          requests, coalescing identical in-flight requests, and \
+          scheduling all work through one shared worker pool")
+    Term.(
+      term_result
+        (const action $ socket_arg $ stdio_arg $ connect_arg $ jobs_arg
+       $ engine_arg $ stride_arg $ cache_dir_arg $ gc_bytes_arg $ gc_days_arg
+       $ trace_arg $ metrics_arg))
+
+let cache_cmd =
+  let max_bytes_arg =
+    let doc =
+      "Evict least-recently-used entries until the store fits under \
+       $(docv) bytes."
+    in
+    Arg.(value & opt (some int) None & info [ "max-bytes" ] ~docv:"N" ~doc)
+  in
+  let max_age_arg =
+    let doc = "Evict entries not used for more than $(docv) days." in
+    Arg.(
+      value & opt (some float) None & info [ "max-age-days" ] ~docv:"D" ~doc)
+  in
+  let gc_action cache_dir max_bytes max_age_days json =
+    let store = Core.Memo.Store.open_ cache_dir in
+    let st = Core.Memo.Store.gc ?max_bytes ?max_age_days store in
+    let meta =
+      [
+        ("cache_dir", Report.Json.Str cache_dir);
+        ("max_bytes", Report.Json.of_int_opt max_bytes);
+        ( "max_age_days",
+          match max_age_days with
+          | None -> Report.Json.Null
+          | Some d -> Report.Json.Float d );
+      ]
+    in
+    let table =
+      Report.table ~id:"cache_gc"
+        ~title:(Printf.sprintf "Cache GC: %s" cache_dir)
+        ~columns:
+          [
+            Report.column ~key:"scanned" "scanned";
+            Report.column ~key:"evicted" "evicted";
+            Report.column ~key:"kept" "kept";
+            Report.column ~key:"bytes_before" "bytes before";
+            Report.column ~key:"bytes_after" "bytes after";
+          ]
+        [
+          [
+            Report.int st.Core.Memo.Store.gc_scanned;
+            Report.int st.Core.Memo.Store.gc_evicted;
+            Report.int st.Core.Memo.Store.gc_kept;
+            Report.int st.Core.Memo.Store.gc_bytes_before;
+            Report.int st.Core.Memo.Store.gc_bytes_after;
+          ];
+        ]
+    in
+    emit ?json ~command:"cache-gc" ~meta [ table ]
+  in
+  let gc_cmd =
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Evict result-cache entries, least-recently-used first: by \
+            age ($(b,--max-age-days)), then oldest-first until under \
+            $(b,--max-bytes). Loads refresh an entry's recency; with no \
+            bound the pass only reports sizes and reaps stale temp \
+            files")
+      Term.(
+        const gc_action $ cache_dir_arg $ max_bytes_arg $ max_age_arg
+        $ json_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Maintain the campaign result cache")
+    [ gc_cmd ]
+
 let () =
   let info =
     Cmd.info "etap" ~version:"1.0.0"
@@ -981,5 +1086,5 @@ let () =
           [
             list_cmd; run_cmd; tag_cmd; sections_cmd; disasm_cmd; asm_cmd;
             compile_cmd; inject_cmd; matrix_cmd; audit_cmd; profile_cmd; table2_cmd;
-            table3_cmd; figure_cmd; ablation_cmd;
+            table3_cmd; figure_cmd; ablation_cmd; serve_cmd; cache_cmd;
           ]))

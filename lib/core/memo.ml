@@ -72,6 +72,12 @@ module Store = struct
       (Filename.concat t.root (String.sub key 0 2))
       (String.sub key 2 (String.length key - 2) ^ ".json")
 
+  (* Successful loads touch the entry's mtime, making mtime a
+     last-use stamp — the recency order [gc] evicts by. Failure to
+     touch (read-only store, concurrent eviction) is harmless: the
+     entry just keeps its older stamp. *)
+  let touch p = try Unix.utimes p 0.0 0.0 with Unix.Unix_error _ -> ()
+
   let load t ~key : J.t option =
     let p = path t ~key in
     if not (Sys.file_exists p) then None
@@ -79,7 +85,9 @@ module Store = struct
       match
         In_channel.with_open_bin p In_channel.input_all |> J.of_string
       with
-      | Ok v when J.member "schema" v = Some (J.Str schema) -> Some v
+      | Ok v when J.member "schema" v = Some (J.Str schema) ->
+        touch p;
+        Some v
       | Ok _ | Error _ -> None  (* foreign schema / corrupt: treat as miss *)
       | exception Sys_error _ -> None
 
@@ -105,6 +113,105 @@ module Store = struct
     Out_channel.with_open_bin tmp (fun oc ->
         Out_channel.output_string oc (J.to_string v));
     Sys.rename tmp p
+
+  (* ------------------------------ gc ------------------------------- *)
+
+  type gc_stats = {
+    gc_scanned : int;
+    gc_evicted : int;
+    gc_kept : int;
+    gc_bytes_before : int;
+    gc_bytes_after : int;
+  }
+
+  (* LRU-by-mtime eviction. Two independent bounds, both optional:
+     entries older than [max_age_days] go first, then oldest-first
+     until the store fits under [max_bytes]. [load] touches entries on
+     every hit, so mtime order is recency-of-use order. Stale temp
+     files (crashed writers) older than an hour are reaped on the way;
+     younger ones may belong to an in-flight [save] and are left
+     alone. Everything here tolerates concurrent mutation of the
+     store — an entry vanishing mid-scan is simply not counted. *)
+  let tmp_grace_s = 3600.0
+
+  let gc ?max_bytes ?max_age_days t : gc_stats =
+    let now = Unix.gettimeofday () in
+    let entries = ref [] in
+    let scan_dir dir =
+      match Sys.readdir dir with
+      | names ->
+        Array.iter
+          (fun name ->
+            let p = Filename.concat dir name in
+            match Unix.stat p with
+            | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+              if Filename.check_suffix name ".json" then
+                entries := (p, st_size, st_mtime) :: !entries
+              else if
+                Filename.check_suffix name ".tmp"
+                && now -. st_mtime > tmp_grace_s
+              then (try Sys.remove p with Sys_error _ -> ())
+            | _ | (exception Unix.Unix_error _) -> ())
+          names
+      | exception Sys_error _ -> ()
+    in
+    (match Sys.readdir t.root with
+     | prefixes ->
+       Array.iter
+         (fun d ->
+           let p = Filename.concat t.root d in
+           if try Sys.is_directory p with Sys_error _ -> false then
+             scan_dir p)
+         prefixes
+     | exception Sys_error _ -> ());
+    (* Oldest first; ties break on path so the order is stable. *)
+    let by_age =
+      List.sort
+        (fun (pa, _, ma) (pb, _, mb) ->
+          match Float.compare ma mb with 0 -> String.compare pa pb | c -> c)
+        !entries
+    in
+    let bytes_before =
+      List.fold_left (fun a (_, sz, _) -> a + sz) 0 by_age
+    in
+    let cutoff =
+      match max_age_days with
+      | None -> Float.neg_infinity
+      | Some d -> now -. (d *. 86400.0)
+    in
+    let evicted = ref 0 in
+    let live = ref bytes_before in
+    let over_budget () =
+      match max_bytes with None -> false | Some b -> !live > b
+    in
+    List.iter
+      (fun (p, sz, mtime) ->
+        if mtime < cutoff || over_budget () then begin
+          (try Sys.remove p with Sys_error _ -> ());
+          incr evicted;
+          live := !live - sz
+        end)
+      by_age;
+    (* Prefix directories drained by eviction fold away. *)
+    (match Sys.readdir t.root with
+     | prefixes ->
+       Array.iter
+         (fun d ->
+           let p = Filename.concat t.root d in
+           if
+             (try Sys.is_directory p && Sys.readdir p = [||]
+              with Sys_error _ -> false)
+           then try Unix.rmdir p with Unix.Unix_error _ -> ())
+         prefixes
+     | exception Sys_error _ -> ());
+    let scanned = List.length by_age in
+    {
+      gc_scanned = scanned;
+      gc_evicted = !evicted;
+      gc_kept = scanned - !evicted;
+      gc_bytes_before = bytes_before;
+      gc_bytes_after = !live;
+    }
 end
 
 (* ----------------------- record serialization --------------------- *)
@@ -358,7 +465,7 @@ let cached_trials (v : J.t) ~(expect : int list) : Campaign.trial list option
     | exception (Bad_entry | Failure _) -> None)
   | _ -> None
 
-let run ?jobs ?score ?(salt = "") ?sections ~(store : Store.t)
+let run ?jobs ?fanout ?score ?(salt = "") ?sections ~(store : Store.t)
     (p : Campaign.prepared) ~errors ~trials ~seed : Campaign.summary * stats =
   let t0 = Obs.span_begin () in
   (* Batch callers (the matrix sweep runner) compute the partition once
@@ -428,14 +535,21 @@ let run ?jobs ?score ?(salt = "") ?sections ~(store : Store.t)
   (match missing with
    | [] -> ()
    | _ ->
+     let exec i =
+       let rng =
+         Campaign.trial_rng ~seed ~errors ~policy:p.Campaign.policy i
+       in
+       Campaign.run_trial_skip ?score p ~errors ~rng ~index:i
+     in
+     (* [fanout] lets an external scheduler (the serve daemon's shared
+        executor) own the trial fan-out: no domains are spawned here,
+        and results come back in request order. Absent, the pool path
+        is unchanged. Either way the per-trial computation is [exec] —
+        results cannot depend on who scheduled them. *)
      let results =
-       Pool.map_list ?jobs
-         (fun i ->
-           let rng =
-             Campaign.trial_rng ~seed ~errors ~policy:p.Campaign.policy i
-           in
-           (i, Campaign.run_trial_skip ?score p ~errors ~rng ~index:i))
-         missing
+       match fanout with
+       | Some f -> List.combine missing (f exec missing)
+       | None -> Pool.map_list ?jobs (fun i -> (i, exec i)) missing
      in
      List.iter (fun (i, r) -> Hashtbl.replace ran i r) results);
   (* Publish each missed group, then assemble the composed summary. *)

@@ -53,6 +53,23 @@ module Store : sig
       final path, so concurrent writers of the same key — domains of
       one matrix run, or separate processes sharing a store — never
       expose a torn entry to a reader. *)
+
+  type gc_stats = {
+    gc_scanned : int;  (** entries found under the store root *)
+    gc_evicted : int;
+    gc_kept : int;
+    gc_bytes_before : int;
+    gc_bytes_after : int;
+  }
+
+  val gc : ?max_bytes:int -> ?max_age_days:float -> t -> gc_stats
+  (** LRU-by-mtime eviction ([etap cache gc]). {!load} touches entries
+      on every hit, so mtime order is recency-of-use order: entries
+      older than [max_age_days] are evicted first, then oldest-first
+      until total size fits under [max_bytes]. With neither bound the
+      pass only reports sizes (and reaps stale [.tmp] files from
+      crashed writers). Safe to run concurrently with readers and
+      writers of the same store. *)
 end
 
 val sections_of : Campaign.prepared -> Analysis.Section.t
@@ -77,6 +94,8 @@ val trial_of_json : Report.Json.t -> Campaign.trial
 
 val run :
   ?jobs:int ->
+  ?fanout:
+    ((int -> Campaign.trial * int) -> int list -> (Campaign.trial * int) list) ->
   ?score:(Sim.Interp.result -> float) ->
   ?salt:string ->
   ?sections:Analysis.Section.t ->
@@ -98,6 +117,14 @@ val run :
     the app name (and anything else that selects the scorer/workload)
     because a [score] closure itself cannot be hashed. [jobs] fans the
     misses out over domains; results are jobs-invariant.
+
+    [fanout] hands the miss fan-out to an external scheduler (the
+    serve daemon's shared executor): it receives the per-trial
+    execution function and the missing indices, and must return one
+    result per index in the given order. When supplied, this run
+    spawns no domains of its own — the coalescing-safe entry. The
+    per-trial computation is identical either way, so summaries are
+    scheduler-invariant.
 
     [sections] lets a batch caller (the matrix sweep runner) compute
     {!sections_of} once per prepared target and share it across every

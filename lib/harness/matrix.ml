@@ -116,6 +116,69 @@ let dedup xs =
   List.rev
     (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
 
+(* Shared per-cell execution path. Both schedulers — the one-shot sweep
+   below and the serve daemon's executor — route cells through here, so
+   a cell's summary cannot depend on who scheduled it. [lookup] resolves
+   an app name to its loaded context (None = unknown app, a Failed
+   cell); [prepared_of] resolves (app, policy) to the injectable pool
+   size and, for non-empty pools, the prepared target plus its shared
+   section partition. [memo_fanout] forwards to {!Core.Memo.run}'s
+   external-scheduler entry; inner jobs stays pinned to 1 either way
+   (trials run inline on whichever worker owns the cell). *)
+let exec_cell
+    ~(lookup : string -> Experiment.loaded option)
+    ~(prepared_of :
+       string ->
+       Core.Policy.t ->
+       int * (Core.Campaign.prepared * Analysis.Section.t) option)
+    ?memo_fanout ~(store : Core.Memo.Store.t) (c : cell_spec) : status =
+  match lookup c.app with
+  | None -> Failed (Printf.sprintf "unknown application %S" c.app)
+  | Some l -> (
+    match prepared_of c.app c.policy with
+    | 0, _ | _, None -> Skipped "empty injectable pool"
+    | pool, Some (p, sections) ->
+      let b = l.Experiment.built in
+      let target = l.Experiment.target c.mode in
+      let golden = target.Core.Campaign.baseline in
+      let score r = b.Apps.App.score ~golden r in
+      let summary, cache =
+        Core.Memo.run ~jobs:1 ?fanout:memo_fanout ~score ~salt:c.app
+          ~sections ~store p ~errors:c.errors ~trials:c.trials
+          ~seed:(c.seed + 100)
+      in
+      Ok { summary; cache; pool; fidelity_units = b.Apps.App.fidelity_units })
+
+(* [exec_cell] under the typed-status contract: any exception a cell
+   raises becomes its [Failed] status, and every cell records a
+   [matrix.cell] span. *)
+let run_cell ~lookup ~prepared_of ?memo_fanout ~store (c : cell_spec) : status
+    =
+  let t0 = Obs.span_begin () in
+  let status =
+    try exec_cell ~lookup ~prepared_of ?memo_fanout ~store c
+    with e -> Failed (Printexc.to_string e)
+  in
+  Obs.span_end ~name:"matrix.cell" ~cat:"matrix"
+    ~args:[ ("cell", cell_label c); ("status", status_kind status) ]
+    t0;
+  status
+
+(* Cell-status counters, recorded on the calling domain after
+   collection so they are jobs-invariant like every other counter in
+   the tree. A cell is a "hit" when the cache served every one of its
+   trials. *)
+let record_counters (cells : cell list) =
+  List.iter
+    (fun { status; _ } ->
+      match status with
+      | Ok ok ->
+        if ok.cache.Core.Memo.trials_run = 0 then Obs.count "matrix.cells_hit" 1
+        else Obs.count "matrix.cells_miss" 1
+      | Skipped _ -> Obs.count "matrix.cells_skipped" 1
+      | Failed _ -> Obs.count "matrix.cells_failed" 1)
+    cells
+
 let run ?jobs ?engine ?checkpoint_stride ~(store : Core.Memo.Store.t) (s : spec)
     : result =
   let t_run = Unix.gettimeofday () in
@@ -173,55 +236,13 @@ let run ?jobs ?engine ?checkpoint_stride ~(store : Core.Memo.Store.t) (s : spec)
      campaign trials run inline on the pool worker that owns the cell.
      Concurrent cells share [store]; overlapping keys are safe (atomic
      publish, last rename wins, identical content either way). *)
-  let run_cell (c : cell_spec) : status =
-    match List.assoc_opt c.app loaded with
-    | None -> Failed (Printf.sprintf "unknown application %S" c.app)
-    | Some l -> (
-      match Hashtbl.find prepared_tbl (c.app, c.policy) with
-      | 0, _ | _, None -> Skipped "empty injectable pool"
-      | pool, Some (p, sections) ->
-        let b = l.Experiment.built in
-        let target = l.Experiment.target c.mode in
-        let golden = target.Core.Campaign.baseline in
-        let score r = b.Apps.App.score ~golden r in
-        let summary, cache =
-          Core.Memo.run ~jobs:1 ~score ~salt:c.app ~sections ~store p
-            ~errors:c.errors ~trials:c.trials ~seed:(c.seed + 100)
-        in
-        Ok
-          {
-            summary;
-            cache;
-            pool;
-            fidelity_units = b.Apps.App.fidelity_units;
-          })
-  in
+  let lookup name = List.assoc_opt name loaded in
+  let prepared_of name policy = Hashtbl.find prepared_tbl (name, policy) in
   let statuses =
-    Core.Pool.map_list ?jobs
-      (fun (c : cell_spec) ->
-        let t0 = Obs.span_begin () in
-        let status =
-          try run_cell c with e -> Failed (Printexc.to_string e)
-        in
-        Obs.span_end ~name:"matrix.cell" ~cat:"matrix"
-          ~args:[ ("cell", cell_label c); ("status", status_kind status) ]
-          t0;
-        status)
-      cells
+    Core.Pool.map_list ?jobs (run_cell ~lookup ~prepared_of ~store) cells
   in
   let cells = List.map2 (fun cell status -> { cell; status }) cells statuses in
-  (* Counters recorded on the calling domain after collection, so they
-     are jobs-invariant like every other counter in the tree. A cell is
-     a "hit" when the cache served every one of its trials. *)
-  List.iter
-    (fun { status; _ } ->
-      match status with
-      | Ok ok ->
-        if ok.cache.Core.Memo.trials_run = 0 then Obs.count "matrix.cells_hit" 1
-        else Obs.count "matrix.cells_miss" 1
-      | Skipped _ -> Obs.count "matrix.cells_skipped" 1
-      | Failed _ -> Obs.count "matrix.cells_failed" 1)
-    cells;
+  record_counters cells;
   Obs.span_end ~name:"matrix.run" ~cat:"matrix"
     ~args:[ ("cells", string_of_int (List.length cells)) ]
     sp;
@@ -279,6 +300,18 @@ let failures (r : result) =
     (fun c ->
       match c.status with Failed m -> Some (cell_label c.cell, m) | _ -> None)
     r.cells
+
+(* One diagnostic string for the fail-fast surface — shared verbatim by
+   the CLI's non-zero exit message and the daemon's typed [Failed]
+   response. [None] when every cell is ok or skipped. *)
+let failures_message (r : result) : string option =
+  match failures r with
+  | [] -> None
+  | fs ->
+    Some
+      (Printf.sprintf "%d matrix cell(s) failed:\n%s" (List.length fs)
+         (String.concat "\n"
+            (List.map (fun (l, m) -> "  " ^ l ^ ": " ^ m) fs)))
 
 (* ------------------------------------------------------------------ *)
 (* Anomaly clustering: recurring oddities across the sweep, ranked by
@@ -497,6 +530,45 @@ let anomaly_table (r : result) : Report.table =
            Report.text a.detail;
          ])
        rows)
+
+(* ------------------------------------------------------------------ *)
+(* Report meta: the invocation-parameter block of a matrix report,
+   shared by `etap matrix --json` and the serve daemon so the two
+   emit identical documents for identical work. [spec_meta] is the
+   pre-run half (also the obs-stream meta); [report_meta] appends the
+   sweep's cache/status accounting. *)
+
+let spec_meta ~engine ~jobs ~checkpoint_stride ~cache_dir (s : spec) :
+    (string * Report.Json.t) list =
+  let open Report.Json in
+  [
+    ("apps", Arr (List.map (fun a -> Str a) s.apps));
+    ( "policies",
+      Arr (List.map (fun p -> Str (Core.Policy.to_string p)) s.policies) );
+    ("errors", Arr (List.map (fun e -> Int e) s.errors));
+    ("trials", Int s.trials);
+    ("seed", Int s.seed);
+    ("literal", Bool (s.mode = Experiment.Literal));
+    ("engine", Str (Sim.Interp.engine_name engine));
+    ("jobs", of_int_opt jobs);
+    ("checkpoint_stride", of_int_opt checkpoint_stride);
+    ("cache_dir", Str cache_dir);
+  ]
+
+let report_meta ~engine ~jobs ~checkpoint_stride ~cache_dir (r : result) :
+    (string * Report.Json.t) list =
+  let t = totals r in
+  spec_meta ~engine ~jobs ~checkpoint_stride ~cache_dir r.spec
+  @ [
+      ("cells_requested", Report.Json.Int t.requested);
+      ("cells_ok", Report.Json.Int t.ok);
+      ("cells_skipped", Report.Json.Int t.skipped);
+      ("cells_failed", Report.Json.Int t.failed);
+      ("cells_hit", Report.Json.Int t.cells_hit);
+      ("cells_miss", Report.Json.Int t.cells_miss);
+      ("trials_reused", Report.Json.Int t.trials_reused);
+      ("trials_run", Report.Json.Int t.trials_run);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Spec parsing: a small JSON spec file overrides the CLI-derived base

@@ -1,0 +1,722 @@
+(* etap serve — the warm-state campaign daemon (DESIGN.md §17).
+
+   Every standalone `etap` invocation pays the full cold-start tax —
+   workload generation, Mlang compilation, tagging, baseline runs,
+   fast-engine compilation, snapshot builds — before the first trial
+   executes. This module keeps all of that warm across *requests*: a
+   long-running process answers line-delimited [Proto] requests
+   (inject-shaped campaigns and matrix-shaped sweeps) with the same
+   typed-status [etap-report/1] documents the CLI emits, bit-identical
+   to standalone runs because both sides route through the same
+   builders ([inject_report] here, [Matrix.run_cell]/[Matrix.report_meta]
+   for sweeps) and the same [Core.Memo] result cache.
+
+   Three layers:
+
+   - {b Warm registry} — loaded apps keyed by (name, seed), prepared
+     targets and section partitions keyed by (app, seed, mode, policy),
+     built once on first use under a registry lock. [Experiment.load]'s
+     internal memos keep targets lazy, so a request only ever builds
+     the modes/policies it touches. Every campaign still routes
+     through [Core.Memo], so results persist across daemon restarts.
+
+   - {b In-flight coalescing} — concurrent requests whose
+     [Proto.group_key]s collide attach to the running computation (a
+     promise table): one execution, N responses. New requests arriving
+     after a flight lands run fresh — and hit the result cache.
+
+   - {b Shared executor} — one pool of worker domains executes every
+     job the daemon schedules: trial batches from inject requests,
+     whole cells from matrix requests, across all connections. Workers
+     take one job from the head batch then rotate it to the tail, so
+     concurrent requests interleave fairly instead of queueing behind
+     each other. Submitters on worker domains {e help} (they execute
+     queued jobs — their own batch's or another's — while waiting,
+     which makes nested submits deadlock-free on a finite pool);
+     connection-handler threads wait passively and never execute jobs.
+
+   Threading discipline for telemetry: obs buffers are per-domain and
+   lock-free, so two systhreads of one domain must not record
+   concurrently. All campaign work (and its obs traffic) runs on
+   worker domains, each of which has exactly one thread; the few
+   counters recorded on domain 0 — [serve.requests], [serve.coalesced],
+   [serve.malformed], gc accounting — are serialized under the daemon
+   state lock, which every handler thread shares. *)
+
+module J = Report.Json
+
+(* ----------------------------- executor ---------------------------- *)
+
+module Executor = struct
+  type batch = {
+    jobs : (unit -> unit) array;  (* each job stores its own result *)
+    mutable next : int;  (* next job index to hand out *)
+    mutable finished : int;  (* jobs that completed execution *)
+  }
+
+  type t = {
+    m : Mutex.t;
+    progress : Condition.t;  (* job finished / queue grew / stop *)
+    queue : batch Queue.t;  (* batches with unhanded jobs, rotating *)
+    mutable stop : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  (* Take one job, round-robin over batches: pop the head batch, hand
+     out its next job, and re-queue it at the tail if jobs remain.
+     Caller holds [m]. *)
+  let take t =
+    if Queue.is_empty t.queue then None
+    else begin
+      let b = Queue.pop t.queue in
+      let job = b.jobs.(b.next) in
+      b.next <- b.next + 1;
+      if b.next < Array.length b.jobs then Queue.push b t.queue;
+      Some (job, b)
+    end
+
+  (* Caller holds [m]. *)
+  let finish t b =
+    b.finished <- b.finished + 1;
+    Condition.broadcast t.progress
+
+  let worker_loop t =
+    Mutex.lock t.m;
+    let rec loop () =
+      if t.stop && Queue.is_empty t.queue then Mutex.unlock t.m
+      else
+        match take t with
+        | Some (job, b) ->
+          Mutex.unlock t.m;
+          job ();
+          Mutex.lock t.m;
+          finish t b;
+          loop ()
+        | None ->
+          Condition.wait t.progress t.m;
+          loop ()
+    in
+    loop ()
+
+  let create ~jobs =
+    let t =
+      {
+        m = Mutex.create ();
+        progress = Condition.create ();
+        queue = Queue.create ();
+        stop = false;
+        workers = [];
+      }
+    in
+    t.workers <-
+      List.init (max 1 jobs) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  (* Block until every job of [thunks] has finished. With [help] the
+     caller drains queued jobs (any batch's) while waiting — required
+     from worker domains, where parking the thread could starve the
+     pool; forbidden from connection handlers, whose domain-0 obs
+     buffer is not theirs to write. Deadlock-freedom of helping: a
+     thread only waits when no job is takeable, and then every
+     handed-out job has a live runner that will [finish] it. *)
+  let submit_batch t ~help (thunks : (unit -> unit) array) =
+    let n = Array.length thunks in
+    if n > 0 then begin
+      let b = { jobs = thunks; next = 0; finished = 0 } in
+      Mutex.lock t.m;
+      Queue.push b t.queue;
+      Condition.broadcast t.progress;
+      while b.finished < n do
+        match if help then take t else None with
+        | Some (job, b') ->
+          Mutex.unlock t.m;
+          job ();
+          Mutex.lock t.m;
+          finish t b'
+        | None -> Condition.wait t.progress t.m
+      done;
+      Mutex.unlock t.m
+    end
+
+  (* Run [f] over [xs] through the pool and return results in input
+     order. Exceptions are captured per element and re-raised on the
+     submitter after the whole batch lands. *)
+  let map t ~help f xs =
+    let arr = Array.of_list xs in
+    let out = Array.make (Array.length arr) None in
+    let thunks =
+      Array.mapi
+        (fun i x ->
+          fun () -> out.(i) <- Some (try Ok (f x) with e -> Error e))
+        arr
+    in
+    submit_batch t ~help thunks;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         out)
+
+  let shutdown t =
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.progress;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end
+
+(* --------------------------- daemon state -------------------------- *)
+
+type config = {
+  jobs : int option;  (* worker domains; default: cores - 1 *)
+  engine : Sim.Interp.engine;
+  checkpoint_stride : int option;
+  cache_dir : string;
+  gc_max_bytes : int option;  (* with either bound set, gc runs *)
+  gc_max_age_days : float option;  (* between requests *)
+  gate : (string -> unit) option;
+      (* test hook: a flight winner calls this with its group key after
+         registering in the promise table and before computing, so
+         tests can hold the winner until an attacher has joined. *)
+}
+
+let default_config =
+  {
+    jobs = None;
+    engine = Sim.Interp.Fast;
+    checkpoint_stride = None;
+    cache_dir = "_etap_cache";
+    gc_max_bytes = None;
+    gc_max_age_days = None;
+    gate = None;
+  }
+
+type flight = {
+  mutable outcome : (Report.t option * string option) option;
+      (* None while the winner computes *)
+  mutable waiters : int;
+}
+
+type t = {
+  cfg : config;
+  store : Core.Memo.Store.t;
+  ex : Executor.t;
+  m : Mutex.t;  (* inflight table + stopping + domain-0 obs writes *)
+  flight_done : Condition.t;
+  inflight : (string, flight) Hashtbl.t;
+  mutable stopping : bool;
+  mutable failures : int;  (* requests answered with status "failed" *)
+  rl : Mutex.t;  (* warm registry *)
+  apps : (string * int, Experiment.loaded) Hashtbl.t;  (* (name, seed) *)
+  prepped :
+    ( string * int * string * int,
+      Core.Campaign.prepared * Analysis.Section.t )
+    Hashtbl.t;  (* (name, seed, mode, policy tag) *)
+}
+
+let create ?(config = default_config) () : t =
+  (* A client vanishing mid-response must fail that [output_string],
+     not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let jobs =
+    match config.jobs with
+    | Some j -> max 1 j
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  {
+    cfg = config;
+    store = Core.Memo.Store.open_ config.cache_dir;
+    ex = Executor.create ~jobs;
+    m = Mutex.create ();
+    flight_done = Condition.create ();
+    inflight = Hashtbl.create 8;
+    stopping = false;
+    failures = 0;
+    rl = Mutex.create ();
+    apps = Hashtbl.create 8;
+    prepped = Hashtbl.create 16;
+  }
+
+let shutdown t = Executor.shutdown t.ex
+
+(* ---------------------------- warm registry ------------------------ *)
+
+(* Called from worker domains only (each its own obs buffer). The
+   registry lock is held across cold builds: concurrent first requests
+   for the same app serialize instead of building twice. *)
+let registry_load t (app : Apps.App.t) ~seed : Experiment.loaded =
+  let key = (app.Apps.App.name, seed) in
+  Mutex.lock t.rl;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.rl)
+    (fun () ->
+      match Hashtbl.find_opt t.apps key with
+      | Some l ->
+        Obs.count "serve.warm_hit" 1;
+        l
+      | None ->
+        Obs.count "serve.warm_miss" 1;
+        let sp = Obs.span_begin () in
+        let l =
+          Experiment.load ~seed ~engine:t.cfg.engine
+            ?checkpoint_stride:t.cfg.checkpoint_stride app
+        in
+        Obs.span_end ~name:"serve.load" ~cat:"serve"
+          ~args:[ ("app", app.Apps.App.name) ]
+          sp;
+        Hashtbl.replace t.apps key l;
+        l)
+
+let registry_prepared t (l : Experiment.loaded) ~name ~seed ~mode policy :
+    Core.Campaign.prepared * Analysis.Section.t =
+  let key =
+    (name, seed, Experiment.mode_name mode, Core.Policy.seed_tag policy)
+  in
+  Mutex.lock t.rl;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.rl)
+    (fun () ->
+      match Hashtbl.find_opt t.prepped key with
+      | Some v -> v
+      | None ->
+        let sp = Obs.span_begin () in
+        let p = l.Experiment.prepared mode policy in
+        let v = (p, Core.Memo.sections_of p) in
+        Obs.span_end ~name:"serve.prepare" ~cat:"serve"
+          ~args:
+            [ ("app", name); ("policy", Core.Policy.to_string policy) ]
+          sp;
+        Hashtbl.replace t.prepped key v;
+        v)
+
+(* ----------------------------- reports ----------------------------- *)
+
+(* The inject report, byte-for-byte the document `etap inject --json`
+   writes — bin/etap.ml calls this too, so the CLI and the daemon
+   cannot drift apart. [cache = Some (dir, totals)] is the incremental
+   path; [None] reproduces a plain (non-incremental) run's meta. *)
+let inject_report ~app ~errors ~trials ~seed ~literal ~engine ~jobs
+    ~checkpoint_stride ~fidelity_units
+    ~(cache : (string * Core.Memo.stats) option)
+    (summaries : (Core.Policy.t * Core.Campaign.summary) list) : Report.t =
+  let table =
+    Report.table ~id:"inject"
+      ~title:
+        (Printf.sprintf "Fault-injection campaign: %s, %d errors" app errors)
+      ~columns:
+        [
+          Report.column ~key:"policy" "policy";
+          Report.column ~key:"trials" "trials";
+          Report.column ~key:"errors_planned" "errors planned";
+          Report.column ~key:"pct_catastrophic" "% catastrophic";
+          Report.column ~key:"crashes" "crashes";
+          Report.column ~key:"infinite" "infinite";
+          Report.column ~key:"completed" "completed";
+          Report.column ~key:"mean_fidelity" "mean fidelity";
+        ]
+      (List.map
+         (fun (policy, s) ->
+           [
+             Report.text (Core.Policy.to_string policy);
+             Report.int (Core.Campaign.n s);
+             Report.int s.Core.Campaign.errors_planned;
+             Report.pct (Core.Campaign.pct_catastrophic s);
+             Report.int (Core.Campaign.crashes s);
+             Report.int (Core.Campaign.infinite s);
+             Report.int (Core.Campaign.completed s);
+             Report.opt ~missing:"n/a"
+               (fun m -> Report.num ~text:(Printf.sprintf "%.1f" m) m)
+               (Core.Campaign.mean_fidelity s);
+           ])
+         summaries)
+  in
+  Report.make ~command:"inject"
+    ~meta:
+      ([
+         ("app", J.Str app);
+         ("errors", J.Int errors);
+         ("trials", J.Int trials);
+         ("seed", J.Int seed);
+         ("literal", J.Bool literal);
+         ("engine", J.Str (Sim.Interp.engine_name engine));
+         ("jobs", J.of_int_opt jobs);
+         ("checkpoint_stride", J.of_int_opt checkpoint_stride);
+         ("fidelity_units", J.Str fidelity_units);
+         ("incremental", J.Bool (cache <> None));
+         ( "cache_dir",
+           match cache with Some (d, _) -> J.Str d | None -> J.Null );
+       ]
+      @
+      match cache with
+      | None -> []
+      | Some (_, st) ->
+        [
+          ("cache_sections", J.Int st.Core.Memo.sections);
+          ("cache_hits", J.Int st.Core.Memo.hits);
+          ("cache_misses", J.Int st.Core.Memo.misses);
+          ("cache_trials_reused", J.Int st.Core.Memo.trials_reused);
+          ("cache_trials_run", J.Int st.Core.Memo.trials_run);
+        ])
+    [ table ]
+
+(* ----------------------------- handlers ---------------------------- *)
+
+let add_stats (a : Core.Memo.stats) (b : Core.Memo.stats) : Core.Memo.stats =
+  Core.Memo.
+    {
+      sections = a.sections + b.sections;
+      hits = a.hits + b.hits;
+      misses = a.misses + b.misses;
+      trials_reused = a.trials_reused + b.trials_reused;
+      trials_run = a.trials_run + b.trials_run;
+    }
+
+(* Trial fan-out for inject campaigns: hand [Memo.run]'s miss batch to
+   the shared executor. The submitter is an orchestration job on a
+   worker domain, so it helps. *)
+let memo_fanout t exec indices = Executor.map t.ex ~help:true exec indices
+
+let unknown_app name =
+  Printf.sprintf "unknown application %S (known: %s)" name
+    (String.concat ", " Apps.Registry.names)
+
+let run_inject t (i : Proto.inject_req) : Report.t option * string option =
+  match Apps.Registry.find i.app with
+  | None -> (None, Some (unknown_app i.app))
+  | Some app ->
+    let l = registry_load t app ~seed:i.seed in
+    let mode =
+      if i.literal then Experiment.Literal else Experiment.Full
+    in
+    let b = l.Experiment.built in
+    let target = l.Experiment.target mode in
+    let golden = target.Core.Campaign.baseline in
+    let score r = b.Apps.App.score ~golden r in
+    let totals = ref Core.Memo.zero_stats in
+    let summaries =
+      List.map
+        (fun policy ->
+          let p, sections =
+            registry_prepared t l ~name:i.app ~seed:i.seed ~mode policy
+          in
+          let s, st =
+            Core.Memo.run ~fanout:(memo_fanout t) ~score ~salt:i.app
+              ~sections ~store:t.store p ~errors:i.errors ~trials:i.trials
+              ~seed:(i.seed + 100)
+          in
+          totals := add_stats !totals st;
+          (policy, s))
+        [ Core.Policy.Protect_control; Core.Policy.Protect_nothing ]
+    in
+    let rep =
+      inject_report ~app:i.app ~errors:i.errors ~trials:i.trials ~seed:i.seed
+        ~literal:i.literal ~engine:t.cfg.engine ~jobs:None
+        ~checkpoint_stride:t.cfg.checkpoint_stride
+        ~fidelity_units:b.Apps.App.fidelity_units
+        ~cache:(Some (t.cfg.cache_dir, !totals))
+        summaries
+    in
+    (Some rep, None)
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+let run_matrix t (s : Matrix.spec) : Report.t option * string option =
+  let t_run = Unix.gettimeofday () in
+  let sp = Obs.span_begin () in
+  let cells = Matrix.cells_of_spec s in
+  (* Apps resolve through the warm registry — sequentially, since on a
+     warm daemon they are table lookups. Unknown names never load;
+     their cells fail below, exactly like the CLI sweep. *)
+  let t_load = Unix.gettimeofday () in
+  let loaded =
+    List.filter_map
+      (fun n ->
+        Option.map
+          (fun app -> (n, registry_load t app ~seed:s.Matrix.seed))
+          (Apps.Registry.find n))
+      (dedup s.Matrix.apps)
+  in
+  let load_s = Unix.gettimeofday () -. t_load in
+  let lookup n = List.assoc_opt n loaded in
+  let pool_of (l : Experiment.loaded) policy =
+    let tgt = l.Experiment.target s.Matrix.mode in
+    Core.Campaign.injectable_pool tgt
+      (Core.Tagging.mask tgt.Core.Campaign.tagging policy)
+  in
+  let prepared_of n policy =
+    let l = List.assoc n loaded in
+    let pool = pool_of l policy in
+    if pool = 0 then (0, None)
+    else
+      ( pool,
+        Some
+          (registry_prepared t l ~name:n ~seed:s.Matrix.seed
+             ~mode:s.Matrix.mode policy) )
+  in
+  (* Cells are the scheduling unit: they fan over the shared executor
+     (interleaving with any other in-flight request's batches), trials
+     inside each cell run inline on the owning worker — the same
+     inner-jobs-1 shape as the CLI sweep. *)
+  let statuses =
+    Executor.map t.ex ~help:true
+      (Matrix.run_cell ~lookup ~prepared_of ~store:t.store)
+      cells
+  in
+  let cells =
+    List.map2
+      (fun cell status -> { Matrix.cell; status })
+      cells statuses
+  in
+  Matrix.record_counters cells;
+  Obs.span_end ~name:"matrix.run" ~cat:"matrix"
+    ~args:[ ("cells", string_of_int (List.length cells)) ]
+    sp;
+  let r =
+    {
+      Matrix.spec = s;
+      cells;
+      load_s;
+      wall_s = Unix.gettimeofday () -. t_run;
+    }
+  in
+  let meta =
+    Matrix.report_meta ~engine:t.cfg.engine ~jobs:None
+      ~checkpoint_stride:t.cfg.checkpoint_stride ~cache_dir:t.cfg.cache_dir r
+  in
+  let rep =
+    Report.make ~command:"matrix" ~meta
+      [ Matrix.to_table r; Matrix.anomaly_table r ]
+  in
+  (* A failed cell is a failed response — but the full typed report
+     still ships with it: never a silent partial result. *)
+  (Some rep, Matrix.failures_message r)
+
+let dispatch t (req : Proto.request) : Report.t option * string option =
+  let sp = Obs.span_begin () in
+  let kind =
+    match req with
+    | Proto.Inject _ -> "inject"
+    | Proto.Matrix _ -> "matrix"
+    | Proto.Ping | Proto.Shutdown -> "control"
+  in
+  let (_, err) as r =
+    match req with
+    | Proto.Inject i -> run_inject t i
+    | Proto.Matrix s -> run_matrix t s
+    | Proto.Ping | Proto.Shutdown -> (None, None)
+  in
+  Obs.span_end ~name:"serve.request" ~cat:"serve"
+    ~args:
+      [ ("kind", kind); ("status", if err = None then "ok" else "failed") ]
+    sp;
+  r
+
+(* --------------------------- coalescing ---------------------------- *)
+
+(* Ship the computation to a worker domain and park this (handler)
+   thread until it lands. *)
+let on_worker t (f : unit -> 'a) : ('a, exn) result =
+  let slot = ref None in
+  Executor.submit_batch t.ex ~help:false
+    [| (fun () -> slot := Some (try Ok (f ()) with e -> Error e)) |];
+  Option.get !slot
+
+(* One execution per in-flight group key: the first request in wins
+   and computes; any request with the same key arriving before the
+   outcome lands attaches as a waiter and receives the same payload.
+   Runs on handler threads — domain-0 obs writes stay under [t.m]. *)
+let coalesced_run t ~key (compute : unit -> Report.t option * string option)
+    : Report.t option * string option =
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.inflight key with
+  | Some f ->
+    f.waiters <- f.waiters + 1;
+    Obs.count "serve.coalesced" 1;
+    while f.outcome = None do
+      Condition.wait t.flight_done t.m
+    done;
+    f.waiters <- f.waiters - 1;
+    let r = Option.get f.outcome in
+    Mutex.unlock t.m;
+    r
+  | None ->
+    let f = { outcome = None; waiters = 0 } in
+    Hashtbl.replace t.inflight key f;
+    Mutex.unlock t.m;
+    (match t.cfg.gate with Some g -> g key | None -> ());
+    let r =
+      match compute () with
+      | r -> r
+      | exception e -> (None, Some (Printexc.to_string e))
+    in
+    Mutex.lock t.m;
+    f.outcome <- Some r;
+    Hashtbl.remove t.inflight key;
+    Condition.broadcast t.flight_done;
+    Mutex.unlock t.m;
+    r
+
+(* Waiters currently attached to [key]'s flight — 0 when none is in
+   flight. Lets a [gate] hook hold a winner until an attacher joins. *)
+let inflight_waiters t ~key =
+  Mutex.lock t.m;
+  let n =
+    match Hashtbl.find_opt t.inflight key with
+    | Some f -> f.waiters
+    | None -> 0
+  in
+  Mutex.unlock t.m;
+  n
+
+(* ------------------------------- gc -------------------------------- *)
+
+let gc_configured t = t.cfg.gc_max_bytes <> None || t.cfg.gc_max_age_days <> None
+
+(* Between-requests cache maintenance. Under the registry lock so at
+   most one sweep runs at a time; concurrent campaign reads/writes are
+   safe against eviction by construction of the store. *)
+let maybe_gc t =
+  if gc_configured t then begin
+    Mutex.lock t.rl;
+    let st =
+      Core.Memo.Store.gc ?max_bytes:t.cfg.gc_max_bytes
+        ?max_age_days:t.cfg.gc_max_age_days t.store
+    in
+    Mutex.unlock t.rl;
+    Mutex.lock t.m;
+    Obs.count "serve.gc_runs" 1;
+    Obs.count "serve.gc_evicted" st.Core.Memo.Store.gc_evicted;
+    Mutex.unlock t.m
+  end
+
+(* ---------------------------- transports --------------------------- *)
+
+(* One connection: read request lines until EOF / shutdown, answer
+   each on its own line. Any write failure (client went away) ends the
+   connection quietly — in-flight work completes and lands in the
+   result cache either way. *)
+let serve_connection t ~ic ~oc : [ `Closed | `Shutdown ] =
+  let send resp =
+    try
+      output_string oc (Proto.response_line resp);
+      output_char oc '\n';
+      flush oc;
+      true
+    with Sys_error _ -> false
+  in
+  let count ?(fail = false) name =
+    Mutex.lock t.m;
+    Obs.count name 1;
+    if fail then t.failures <- t.failures + 1;
+    Mutex.unlock t.m
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> `Closed
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+      count "serve.requests";
+      let rid, parsed = Proto.request_of_line line in
+      match parsed with
+      | Error msg ->
+        count ~fail:true "serve.malformed";
+        if send { Proto.rid; report = None; error = Some msg } then loop ()
+        else `Closed
+      | Ok Proto.Ping ->
+        if send { Proto.rid; report = None; error = None } then loop ()
+        else `Closed
+      | Ok Proto.Shutdown ->
+        ignore (send { Proto.rid; report = None; error = None });
+        `Shutdown
+      | Ok req ->
+        let key = Proto.group_key req in
+        let report, error =
+          coalesced_run t ~key (fun () ->
+              match on_worker t (fun () -> dispatch t req) with
+              | Ok r -> r
+              | Error e -> (None, Some (Printexc.to_string e)))
+        in
+        maybe_gc t;
+        if error <> None then count ~fail:true "serve.failed";
+        if send { Proto.rid; report; error } then loop () else `Closed)
+  in
+  loop ()
+
+(* Requests this daemon answered with a typed failure — the daemon's
+   exit status is non-zero when this is, so a failing cell can never
+   hide behind an otherwise clean shutdown. *)
+let failed_requests t =
+  Mutex.lock t.m;
+  let n = t.failures in
+  Mutex.unlock t.m;
+  n
+
+let request_stop t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Mutex.unlock t.m
+
+let stopping t =
+  Mutex.lock t.m;
+  let s = t.stopping in
+  Mutex.unlock t.m;
+  s
+
+(* Unix-domain socket daemon: one handler systhread per connection,
+   all sharing the executor, registry and flight table. A [shutdown]
+   request from any connection stops the accept loop (checked every
+   200 ms); open connections drain before the executor is torn down. *)
+let run_socket t ~path =
+  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 16;
+  let handlers = ref [] in
+  let rec accept_loop () =
+    if not (stopping t) then begin
+      let readable, _, _ = Unix.select [ srv ] [] [] 0.2 in
+      if readable <> [] then begin
+        let fd, _ = Unix.accept srv in
+        let th =
+          Thread.create
+            (fun fd ->
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              let res = serve_connection t ~ic ~oc in
+              (try close_out oc with Sys_error _ -> ());
+              match res with
+              | `Shutdown -> request_stop t
+              | `Closed -> ())
+            fd
+        in
+        handlers := th :: !handlers
+      end;
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Thread.join !handlers;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      shutdown t)
+    accept_loop
+
+(* Stdin/stdout transport: one connection, then a clean executor
+   teardown. *)
+let run_stdio t =
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () -> ignore (serve_connection t ~ic:stdin ~oc:stdout))
+
+(* Client side of the socket transport ([etap serve --connect]). *)
+let connect ~path : in_channel * out_channel =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)

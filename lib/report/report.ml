@@ -324,11 +324,13 @@ type cell =
   | Text of string          (* JSON string *)
   | Int of int              (* JSON integer *)
   | Num of float * string   (* JSON number, custom display text *)
+  | Bool of bool            (* JSON boolean *)
   | Missing of string       (* JSON null, display placeholder *)
 
 let text s = Text s
 let int n = Int n
 let num ~text v = Num (v, text)
+let bool b = Bool b
 
 (* Frozen display formats (formerly Tablefmt.{pct,db,count}). *)
 let pct x = Num (x, Printf.sprintf "%.1f%%" x)
@@ -341,12 +343,14 @@ let cell_text = function
   | Text s -> s
   | Int n -> string_of_int n
   | Num (_, s) -> s
+  | Bool b -> string_of_bool b
   | Missing s -> s
 
 let cell_json = function
   | Text s -> Json.Str s
   | Int n -> Json.Int n
   | Num (v, _) -> Json.Float v  (* nan/inf -> null at print time *)
+  | Bool b -> Json.Bool b
   | Missing _ -> Json.Null
 
 type column = {

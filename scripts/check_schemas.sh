@@ -11,11 +11,14 @@
 #   check_schemas.sh metrics FILE   # etap-metrics/1 (--metrics, JSONL)
 #   check_schemas.sh cache FILE     # etap-cache/1  (one _etap_cache/ entry)
 #   check_schemas.sh cache DIR      # every *.json entry under the store
+#   check_schemas.sh serve FILE     # etap-serve/1  (JSONL of daemon
+#                                   # responses; embedded reports are
+#                                   # validated as etap-report/1)
 #
 # Uses python3's json module (present on CI runners); no jq dependency.
 set -euo pipefail
 
-usage="usage: check_schemas.sh report|matrix|trace|metrics|cache FILE"
+usage="usage: check_schemas.sh report|matrix|trace|metrics|cache|serve FILE"
 kind="${1:?$usage}"
 file="${2:?$usage}"
 
@@ -98,17 +101,54 @@ elif kind == "cache":
             indices.append(t["index"])
         expect(indices == sorted(indices), f"{fp}: trial indices not ascending")
     print(f"checked {len(files)} cache entr{'y' if len(files) == 1 else 'ies'}")
-elif kind in ("report", "matrix"):
+elif kind in ("report", "matrix", "serve"):
+    def check_report(doc, where=""):
+        expect(doc.get("schema") == "etap-report/1",
+               f"{where}bad schema marker {doc.get('schema')!r}")
+        expect(isinstance(doc.get("tables"), list) and doc["tables"],
+               f"{where}missing/empty tables")
+        for t in doc["tables"]:
+            keys = [c["key"] for c in t["columns"]]
+            for row in t["rows"]:
+                expect(list(row.keys()) == keys,
+                       f"{where}table {t['id']}: row keys diverge from columns")
+            if t["id"] == "experiments":
+                # Bench wall-time rows mark experiments that did no
+                # fresh work with an explicit boolean — the wall cell
+                # is null exactly when it is set.
+                for row in t["rows"]:
+                    expect(isinstance(row.get("skipped"), bool),
+                           f"{where}experiments row {row.get('name')!r}: "
+                           "skipped is not a boolean")
+                    expect((row["wall_s"] is None) == row["skipped"],
+                           f"{where}experiments row {row.get('name')!r}: "
+                           "wall_s null-ness diverges from skipped")
+
+    if kind == "serve":
+        # JSONL of daemon responses: every line typed, every embedded
+        # report a full etap-report/1 document.
+        with open(path) as f:
+            lines = [json.loads(l) for l in f if l.strip()]
+        expect(lines, "empty serve response stream")
+        for i, rec in enumerate(lines):
+            where = f"line {i + 1}: "
+            expect(rec.get("schema") == "etap-serve/1",
+                   f"{where}bad schema marker {rec.get('schema')!r}")
+            expect("id" in rec, f"{where}response without an id")
+            status = rec.get("status")
+            expect(status in ("ok", "failed"),
+                   f"{where}status {status!r} is not typed")
+            if status == "failed":
+                expect(isinstance(rec.get("error"), str) and rec["error"],
+                       f"{where}failed response without an error string")
+            if "report" in rec:
+                check_report(rec["report"], where)
+        print(f"checked {len(lines)} serve response(s)")
+        print(f"{path}: {kind} schema OK")
+        sys.exit(0)
+
     doc = json.load(open(path))
-    expect(doc.get("schema") == "etap-report/1",
-           f"bad schema marker {doc.get('schema')!r}")
-    expect(isinstance(doc.get("tables"), list) and doc["tables"],
-           "missing/empty tables")
-    for t in doc["tables"]:
-        keys = [c["key"] for c in t["columns"]]
-        for row in t["rows"]:
-            expect(list(row.keys()) == keys,
-                   f"table {t['id']}: row keys diverge from columns")
+    check_report(doc)
     if kind == "matrix":
         # A matrix report additionally carries typed per-cell statuses
         # and cache accounting in its meta — the fail-fast contract of
