@@ -583,6 +583,40 @@ let run_serve ~quick ?jobs () : sv_cell list =
         timed "serve_warm" (fun () ->
             Obs.with_sink sink_warm (fun () -> serve_request t line)))
   in
+  (* Hard guard on the introspection path: two stats polls against the
+     still-live daemon (outside any with_sink wrapper, so the daemon's
+     own sink records them). The second document's interval section
+     must cover exactly the one request since the first poll. *)
+  ignore (serve_request t {|{"id":90,"cmd":"stats"}|});
+  (match Harness.Proto.reply_of_line (serve_request t {|{"id":91,"cmd":"stats"}|}) with
+   | Error m -> failwith ("serve: unreadable stats response: " ^ m)
+   | Ok r ->
+     (match Report.Json.member "stats" r.Harness.Proto.body with
+      | None -> failwith "serve: stats response carries no document"
+      | Some doc ->
+        let geti path =
+          match
+            List.fold_left
+              (fun acc k -> Option.bind acc (Report.Json.member k))
+              (Some doc) path
+          with
+          | Some (Report.Json.Int i) -> i
+          | _ ->
+            failwith
+              ("serve: stats." ^ String.concat "." path ^ " missing")
+        in
+        if Report.Json.member "schema" doc
+           <> Some (Report.Json.Str Harness.Proto.stats_schema)
+        then failwith "serve: stats document without its schema marker";
+        if geti [ "uptime_us" ] <= 0 then
+          failwith "serve: stats uptime not positive";
+        if geti [ "executor"; "workers" ] < 1 then
+          failwith "serve: stats reports no workers";
+        let w = geti [ "interval"; "counters"; "serve.requests" ] in
+        if w <> 1 then
+          failwith
+            (Printf.sprintf
+               "serve: stats interval saw %d requests, expected exactly 1" w)));
   Harness.Serve.shutdown t;
   let cold_tables = serve_tables cold_resp in
   if serve_tables warm_resp <> cold_tables then

@@ -916,8 +916,19 @@ let serve_cmd =
       & opt (some float) None
       & info [ "gc-max-age-days" ] ~docv:"D" ~doc)
   in
+  let access_log_arg =
+    let doc =
+      "Append one etap-access/1 JSONL line per request to $(docv): id, \
+       kind, group key, status, wall time, warm/cache/trial accounting \
+       and the coalesced flag."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH" ~doc)
+  in
   let action socket stdio connect jobs engine checkpoint_stride cache_dir
-      gc_max_bytes gc_max_age_days trace metrics =
+      gc_max_bytes gc_max_age_days access_log trace metrics =
     let config =
       {
         Harness.Serve.jobs;
@@ -926,6 +937,7 @@ let serve_cmd =
         cache_dir;
         gc_max_bytes;
         gc_max_age_days;
+        access_log;
         gate = None;
       }
     in
@@ -1005,7 +1017,141 @@ let serve_cmd =
       term_result
         (const action $ socket_arg $ stdio_arg $ connect_arg $ jobs_arg
        $ engine_arg $ stride_arg $ cache_dir_arg $ gc_bytes_arg $ gc_days_arg
-       $ trace_arg $ metrics_arg))
+       $ access_log_arg $ trace_arg $ metrics_arg))
+
+let top_cmd =
+  let connect_arg =
+    let doc = "Socket path of the daemon to poll." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"S" ~doc)
+  in
+  let count_arg =
+    let doc = "Stop after $(docv) polls (0 = run until the daemon goes away)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let action path interval count =
+    let ic, oc = Harness.Serve.connect ~path in
+    (* Each poll sends one stats request; the daemon's interval section
+       is exactly the window since our previous poll, so rates need no
+       client-side bookkeeping. *)
+    let poll i =
+      output_string oc (Printf.sprintf {|{"id":%d,"cmd":"stats"}|} i);
+      output_char oc '\n';
+      flush oc;
+      let line = input_line ic in
+      match Harness.Proto.reply_of_line line with
+      | Ok r when r.Harness.Proto.ok -> (
+        match Report.Json.member "stats" r.Harness.Proto.body with
+        | Some doc ->
+          List.iter
+            (fun t -> say "%s" (Report.to_text t))
+            (Harness.Top.tables doc);
+          Ok ()
+        | None -> Error "response carried no stats document")
+      | Ok r ->
+        Error (Option.value ~default:"request failed" r.Harness.Proto.error)
+      | Error e -> Error e
+    in
+    let rec go i =
+      match poll i with
+      | Error e -> Error (`Msg e)
+      | Ok () ->
+        if count > 0 && i >= count then Ok ()
+        else begin
+          Unix.sleepf interval;
+          go (i + 1)
+        end
+    in
+    let res = try go 1 with End_of_file | Sys_error _ -> Ok () in
+    (try close_out oc with Sys_error _ -> ());
+    res
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live daemon introspection: poll a running $(b,etap serve) \
+          daemon's $(b,stats) verb and render uptime, request rates, \
+          warm-registry and cache pressure, worker utilization and \
+          per-kind latency tails")
+    Term.(term_result (const action $ connect_arg $ interval_arg $ count_arg))
+
+let bench_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline bench report.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate bench report.")
+  in
+  let fail_above_arg =
+    let doc =
+      "Exit non-zero if any cell regresses by more than $(docv) percent \
+       (wall and ns/run up, Minstr/s down). Without this flag the diff \
+       is warn-only and always exits zero."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "fail-above" ] ~docv:"PCT" ~doc)
+  in
+  let diff_action old_path new_path fail_above json =
+    let read p =
+      match
+        Report.Json.of_string (In_channel.with_open_bin p In_channel.input_all)
+      with
+      | Ok j -> Ok j
+      | Error e -> Error (`Msg (Printf.sprintf "%s: %s" p e))
+    in
+    let ( let* ) = Result.bind in
+    let* old_doc = read old_path in
+    let* new_doc = read new_path in
+    match Harness.Bench_diff.diff ?fail_above ~old_doc ~new_doc () with
+    | Error e -> Error (`Msg e)
+    | Ok r ->
+      let meta =
+        [
+          ("old", Report.Json.Str old_path);
+          ("new", Report.Json.Str new_path);
+          ( "fail_above",
+            match fail_above with
+            | None -> Report.Json.Null
+            | Some f -> Report.Json.Float f );
+          ("breaches", Report.Json.Int r.Harness.Bench_diff.breaches);
+        ]
+      in
+      emit ?json ~command:"bench-diff" ~meta [ Harness.Bench_diff.table r ];
+      if r.Harness.Bench_diff.breaches = 0 then Ok ()
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "%d bench cell(s) regressed beyond %.1f%%"
+               r.Harness.Bench_diff.breaches
+               (Option.value ~default:0.0 fail_above)))
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Typed regression table over two bench reports: wall seconds \
+            and ns/run (higher is worse) and Minstr/s (lower is worse) \
+            per matching cell, with added/removed/skipped cells kept \
+            visible. $(b,--fail-above) turns the table into a gate")
+      Term.(
+        term_result
+          (const diff_action $ old_arg $ new_arg $ fail_above_arg $ json_arg))
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Compare bench trajectory artifacts")
+    [ diff_cmd ]
 
 let cache_cmd =
   let max_bytes_arg =
@@ -1069,9 +1215,65 @@ let cache_cmd =
         const gc_action $ cache_dir_arg $ max_bytes_arg $ max_age_arg
         $ json_arg)
   in
+  let stats_action cache_dir json =
+    let store = Core.Memo.Store.open_ cache_dir in
+    let entries = Core.Memo.Store.scan store in
+    let now = Unix.gettimeofday () in
+    let n = List.length entries in
+    let bytes = List.fold_left (fun acc (_, b, _) -> acc + b) 0 entries in
+    let ages = List.map (fun (_, _, mtime) -> now -. mtime) entries in
+    let in_bucket lo hi = List.length (List.filter (fun a -> a > lo && a <= hi) ages) in
+    let hour = 3600.0 and day = 86400.0 in
+    let le_1h = in_bucket neg_infinity hour in
+    let le_1d = in_bucket hour day in
+    let le_7d = in_bucket day (7.0 *. day) in
+    let older = in_bucket (7.0 *. day) infinity in
+    let age_extreme f = match ages with [] -> Report.text "-" | a :: tl ->
+      let v = List.fold_left f a tl in
+      Report.num ~text:(Printf.sprintf "%.1f" v) v
+    in
+    let meta = [ ("cache_dir", Report.Json.Str cache_dir) ] in
+    let table =
+      Report.table ~id:"cache_stats"
+        ~title:(Printf.sprintf "Cache stats: %s" cache_dir)
+        ~columns:
+          [
+            Report.column ~key:"entries" "entries";
+            Report.column ~key:"bytes" "bytes";
+            Report.column ~key:"age_le_1h" "age <=1h";
+            Report.column ~key:"age_le_1d" "<=1d";
+            Report.column ~key:"age_le_7d" "<=7d";
+            Report.column ~key:"age_gt_7d" ">7d";
+            Report.column ~key:"newest_age_s" "newest (s)";
+            Report.column ~key:"oldest_age_s" "oldest (s)";
+          ]
+        [
+          [
+            Report.int n;
+            Report.int bytes;
+            Report.int le_1h;
+            Report.int le_1d;
+            Report.int le_7d;
+            Report.int older;
+            age_extreme min;
+            age_extreme max;
+          ];
+        ]
+    in
+    emit ?json ~command:"cache-stats" ~meta [ table ]
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Report result-cache pressure without mutating it: entry \
+            count, total bytes, and an age distribution over the same \
+            store walk the GC pass uses")
+      Term.(const stats_action $ cache_dir_arg $ json_arg)
+  in
   Cmd.group
     (Cmd.info "cache" ~doc:"Maintain the campaign result cache")
-    [ gc_cmd ]
+    [ gc_cmd; stats_cmd ]
 
 let () =
   let info =
@@ -1086,5 +1288,6 @@ let () =
           [
             list_cmd; run_cmd; tag_cmd; sections_cmd; disasm_cmd; asm_cmd;
             compile_cmd; inject_cmd; matrix_cmd; audit_cmd; profile_cmd; table2_cmd;
-            table3_cmd; figure_cmd; ablation_cmd; serve_cmd; cache_cmd;
+            table3_cmd; figure_cmd; ablation_cmd; serve_cmd; top_cmd; bench_cmd;
+            cache_cmd;
           ]))

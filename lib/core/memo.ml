@@ -134,7 +134,13 @@ module Store = struct
      store — an entry vanishing mid-scan is simply not counted. *)
   let tmp_grace_s = 3600.0
 
-  let gc ?max_bytes ?max_age_days t : gc_stats =
+  (* One pass over the two-level prefix tree: every [.json] entry as
+     [(path, bytes, mtime)], unsorted. [reap_tmp] (the gc pass)
+     additionally removes stale temp files from crashed writers on the
+     way. Shared by [gc] and the offline store summary ([etap cache
+     stats], the daemon's [stats] store section) so every consumer
+     counts exactly what eviction would see. *)
+  let scan_entries ?(reap_tmp = false) t : (string * int * float) list =
     let now = Unix.gettimeofday () in
     let entries = ref [] in
     let scan_dir dir =
@@ -148,7 +154,8 @@ module Store = struct
               if Filename.check_suffix name ".json" then
                 entries := (p, st_size, st_mtime) :: !entries
               else if
-                Filename.check_suffix name ".tmp"
+                reap_tmp
+                && Filename.check_suffix name ".tmp"
                 && now -. st_mtime > tmp_grace_s
               then (try Sys.remove p with Sys_error _ -> ())
             | _ | (exception Unix.Unix_error _) -> ())
@@ -164,12 +171,18 @@ module Store = struct
              scan_dir p)
          prefixes
      | exception Sys_error _ -> ());
+    !entries
+
+  let scan t = scan_entries t
+
+  let gc ?max_bytes ?max_age_days t : gc_stats =
+    let now = Unix.gettimeofday () in
     (* Oldest first; ties break on path so the order is stable. *)
     let by_age =
       List.sort
         (fun (pa, _, ma) (pb, _, mb) ->
           match Float.compare ma mb with 0 -> String.compare pa pb | c -> c)
-        !entries
+        (scan_entries ~reap_tmp:true t)
     in
     let bytes_before =
       List.fold_left (fun a (_, sz, _) -> a + sz) 0 by_age

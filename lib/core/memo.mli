@@ -54,6 +54,13 @@ module Store : sig
       one matrix run, or separate processes sharing a store — never
       expose a torn entry to a reader. *)
 
+  val scan : t -> (string * int * float) list
+  (** Every entry under the store root as [(path, bytes, mtime)],
+      unsorted — the same walk {!gc} evicts from, without the
+      side-effects (no temp-file reaping). Feeds the offline store
+      summary ([etap cache stats]) and the serve daemon's [stats]
+      store section. *)
+
   type gc_stats = {
     gc_scanned : int;  (** entries found under the store root *)
     gc_evicted : int;

@@ -1,0 +1,195 @@
+(* etap bench diff — the first automated guard over the BENCH_*.json
+   trajectory.
+
+   Two bench reports (etap-report/1 documents from `bench --json`) are
+   compared cell by cell over the metrics that track performance:
+
+     experiments.wall_s      per experiment name   (higher = worse)
+     micro.ns_per_run        per micro name        (higher = worse)
+     micro.minstr_per_s      per micro name        (lower  = worse)
+
+   Every matching cell becomes a typed row with the signed delta and a
+   direction-adjusted verdict; rows present on only one side surface
+   as added/removed instead of silently vanishing (older BENCH
+   artifacts predate some tables), and experiments skipped on either
+   side stay visible as skipped. With [fail_above] the diff is a gate:
+   any cell whose regression exceeds the threshold is a breach, and
+   the CLI exits non-zero. Without it the same table ships in
+   warn-only mode (the CI default — noisy runners make a hard global
+   gate a flake machine; the threshold is opt-in per invocation). *)
+
+module J = Report.Json
+
+type verdict =
+  | Same  (* within the labeling threshold *)
+  | Regressed
+  | Improved
+  | Added  (* cell only in the new report *)
+  | Removed  (* cell only in the old report *)
+  | Skipped  (* experiment skipped (null wall) on either side *)
+
+let verdict_name = function
+  | Same -> "ok"
+  | Regressed -> "regressed"
+  | Improved -> "improved"
+  | Added -> "added"
+  | Removed -> "removed"
+  | Skipped -> "skipped"
+
+type row = {
+  metric : string;  (* "wall_s" | "ns_per_run" | "minstr_per_s" *)
+  name : string;
+  old_v : float option;
+  new_v : float option;
+  delta_pct : float option;  (* signed, (new - old) / old * 100 *)
+  worse_pct : float;  (* regression-direction-adjusted; > 0 is worse *)
+  verdict : verdict;
+}
+
+type result = {
+  rows : row list;
+  breaches : int;  (* rows over [fail_above]; 0 when no threshold *)
+  threshold : float option;
+}
+
+(* ----------------------------- extraction -------------------------- *)
+
+let table_rows id (doc : J.t) : (string * J.t) list list =
+  match J.member "tables" doc with
+  | Some (J.Arr ts) -> (
+    match
+      List.find_opt (fun t -> J.member "id" t = Some (J.Str id)) ts
+    with
+    | Some t -> (
+      match J.member "rows" t with
+      | Some (J.Arr rows) ->
+        List.filter_map (function J.Obj kvs -> Some kvs | _ -> None) rows
+      | _ -> [])
+    | None -> [])
+  | _ -> []
+
+(* (name, value) cells of one metric column; [None] marks a present
+   row whose cell is null (a skipped experiment). *)
+let cells id key doc : (string * float option) list =
+  List.filter_map
+    (fun kvs ->
+      match List.assoc_opt "name" kvs with
+      | Some (J.Str name) ->
+        Some
+          ( name,
+            Option.bind (List.assoc_opt key kvs) (fun v -> J.to_float_opt v) )
+      | _ -> None)
+    (table_rows id doc)
+
+(* ------------------------------- diff ------------------------------ *)
+
+(* When no hard threshold is given the verdict labels still need a
+   noise floor — wall-clock cells jitter a few percent run to run. *)
+let label_threshold = 5.0
+
+let diff_metric ~threshold ~metric ~higher_is_worse old_cells new_cells :
+    row list =
+  let label = Option.value threshold ~default:label_threshold in
+  let names =
+    List.sort_uniq String.compare
+      (List.map fst old_cells @ List.map fst new_cells)
+  in
+  List.map
+    (fun name ->
+      let o = List.assoc_opt name old_cells in
+      let n = List.assoc_opt name new_cells in
+      let mk ?old_v ?new_v ?delta_pct ?(worse = 0.0) verdict =
+        {
+          metric;
+          name;
+          old_v;
+          new_v;
+          delta_pct;
+          worse_pct = worse;
+          verdict;
+        }
+      in
+      match (o, n) with
+      | None, Some n -> mk ?new_v:n Added
+      | Some o, None -> mk ?old_v:o Removed
+      | Some (Some o), Some (Some n) when o > 0.0 ->
+        let delta = (n -. o) /. o *. 100.0 in
+        let worse = if higher_is_worse then delta else -.delta in
+        let verdict =
+          if worse > label then Regressed
+          else if worse < -.label then Improved
+          else Same
+        in
+        mk ~old_v:o ~new_v:n ~delta_pct:delta ~worse verdict
+      | Some o, Some n ->
+        (* Null on either side (skipped experiment) or a degenerate
+           zero baseline: visible, never a breach. *)
+        mk ?old_v:o ?new_v:n Skipped
+      | None, None -> assert false)
+    names
+
+let diff ?fail_above ~(old_doc : J.t) ~(new_doc : J.t) () :
+    (result, string) Result.t =
+  let check_schema which doc =
+    if J.member "schema" doc = Some (J.Str Report.schema_version) then Ok ()
+    else Error (Printf.sprintf "%s input is not an %s document" which
+                  Report.schema_version)
+  in
+  match (check_schema "old" old_doc, check_schema "new" new_doc) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (), Ok () ->
+    let metric ~id ~key ~higher_is_worse =
+      diff_metric ~threshold:fail_above ~metric:key ~higher_is_worse
+        (cells id key old_doc) (cells id key new_doc)
+    in
+    let rows =
+      metric ~id:"experiments" ~key:"wall_s" ~higher_is_worse:true
+      @ metric ~id:"micro" ~key:"ns_per_run" ~higher_is_worse:true
+      @ metric ~id:"micro" ~key:"minstr_per_s" ~higher_is_worse:false
+    in
+    if rows = [] then Error "no comparable bench cells in either input"
+    else begin
+      let breaches =
+        match fail_above with
+        | None -> 0
+        | Some th ->
+          List.length (List.filter (fun r -> r.worse_pct > th) rows)
+      in
+      Ok { rows; breaches; threshold = fail_above }
+    end
+
+(* ------------------------------ report ----------------------------- *)
+
+let table (r : result) : Report.table =
+  let fnum v = Report.num ~text:(Printf.sprintf "%.3f" v) v in
+  let opt = Report.opt ~missing:"-" fnum in
+  let rows =
+    List.map
+      (fun row ->
+        [
+          Report.text row.metric;
+          Report.text row.name;
+          opt row.old_v;
+          opt row.new_v;
+          Report.opt ~missing:"-"
+            (fun d -> Report.num ~text:(Printf.sprintf "%+.1f%%" d) d)
+            row.delta_pct;
+          Report.text (verdict_name row.verdict);
+        ])
+      r.rows
+  in
+  Report.table ~id:"bench_diff"
+    ~title:
+      (match r.threshold with
+      | Some th -> Printf.sprintf "Bench regression diff (fail above +%.1f%%)" th
+      | None -> "Bench regression diff (warn-only)")
+    ~columns:
+      [
+        Report.column ~key:"metric" "metric";
+        Report.column ~key:"name" "name";
+        Report.column ~key:"old" "old";
+        Report.column ~key:"new" "new";
+        Report.column ~key:"delta_pct" "delta";
+        Report.column ~key:"status" "status";
+      ]
+    rows

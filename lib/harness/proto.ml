@@ -9,8 +9,12 @@
       "errors": 3, "trials": 10, "seed": 1, "literal": false}
      {"id": 2, "cmd": "matrix", "spec": {"apps": ["adpcm"], "errors": [1]}}
 
-   plus ["ping"] (liveness probe) and ["shutdown"] (stop the daemon
-   after responding). Optional inject fields default exactly like the
+   plus ["ping"] (liveness probe, answered with an ["info"] health
+   object: uptime, requests served, schema versions), ["stats"] (live
+   introspection, answered with an [etap-stats/1] document under a
+   ["stats"] key — see DESIGN.md §18) and ["shutdown"] (stop the
+   daemon after responding). Optional inject fields default exactly
+   like the
    CLI flags; a matrix [spec] object is read by the same
    [Matrix.spec_of_json] that reads [--spec] files, against the same
    default spec.
@@ -30,6 +34,8 @@
 module J = Report.Json
 
 let schema = "etap-serve/1"
+let stats_schema = "etap-stats/1"
+let access_schema = "etap-access/1"
 
 (* ----------------------------- requests ---------------------------- *)
 
@@ -45,6 +51,7 @@ type request =
   | Inject of inject_req
   | Matrix of Matrix.spec
   | Ping
+  | Stats  (* live introspection: answered with an etap-stats/1 doc *)
   | Shutdown
 
 (* Defaults mirror the CLI flags (etap inject -e 10 -t 20 --seed 1). *)
@@ -97,6 +104,7 @@ let request_of_line (line : string) : J.t * (request, string) result =
             (Matrix.spec_of_json ~base:Matrix.default_spec spec)
         | None -> Error "matrix request: missing \"spec\"")
       | Some (J.Str "ping") -> Ok Ping
+      | Some (J.Str "stats") -> Ok Stats
       | Some (J.Str "shutdown") -> Ok Shutdown
       | Some (J.Str c) -> Error (Printf.sprintf "unknown cmd %S" c)
       | Some _ -> Error "field \"cmd\": expected a string"
@@ -111,6 +119,7 @@ let request_of_line (line : string) : J.t * (request, string) result =
 let group_key (r : request) : string =
   match r with
   | Ping -> "ping"
+  | Stats -> "stats"
   | Shutdown -> "shutdown"
   | Inject i ->
     Printf.sprintf "inject app=%s errors=%d trials=%d seed=%d literal=%b"
@@ -130,6 +139,11 @@ type response = {
   rid : J.t;  (* echoed request id *)
   report : Report.t option;
   error : string option;  (* None = status ok *)
+  extra : (string * J.t) list;
+      (* verb-specific payloads appended to the response object: a
+         [stats] response carries ("stats", <etap-stats/1 doc>), a
+         [ping] response ("info", <health doc>). Empty for work-bearing
+         verbs, whose payload is the report. *)
 }
 
 let response_json (r : response) : J.t =
@@ -140,10 +154,10 @@ let response_json (r : response) : J.t =
        ("status", J.Str (if r.error = None then "ok" else "failed"));
      ]
     @ (match r.error with None -> [] | Some e -> [ ("error", J.Str e) ])
-    @
-    match r.report with
-    | None -> []
-    | Some rep -> [ ("report", Report.to_json rep) ])
+    @ (match r.report with
+      | None -> []
+      | Some rep -> [ ("report", Report.to_json rep) ])
+    @ r.extra)
 
 let response_line (r : response) : string =
   J.to_compact_string (response_json r)
@@ -154,6 +168,8 @@ type reply = {
   ok : bool;
   error : string option;
   report : J.t option;  (* the embedded etap-report/1 document *)
+  body : J.t;  (* the whole response object, for verb-specific
+                  payloads ("stats", "info") *)
 }
 
 let reply_of_line (line : string) : (reply, string) result =
@@ -178,4 +194,5 @@ let reply_of_line (line : string) : (reply, string) result =
       ok;
       error;
       report = J.member "report" j;
+      body = j;
     }

@@ -59,6 +59,7 @@ module Executor = struct
     progress : Condition.t;  (* job finished / queue grew / stop *)
     queue : batch Queue.t;  (* batches with unhanded jobs, rotating *)
     mutable stop : bool;
+    mutable idle : int;  (* workers parked in [Condition.wait] *)
     mutable workers : unit Domain.t list;
   }
 
@@ -93,7 +94,9 @@ module Executor = struct
           finish t b;
           loop ()
         | None ->
+          t.idle <- t.idle + 1;
           Condition.wait t.progress t.m;
+          t.idle <- t.idle - 1;
           loop ()
     in
     loop ()
@@ -105,6 +108,7 @@ module Executor = struct
         progress = Condition.create ();
         queue = Queue.create ();
         stop = false;
+        idle = 0;
         workers = [];
       }
     in
@@ -159,6 +163,34 @@ module Executor = struct
            | None -> assert false)
          out)
 
+  (* Queue-depth / utilization snapshot for the [stats] verb. [busy]
+     is workers minus parked workers — approximate by nature (a worker
+     between taking a job and re-locking counts as busy), which is the
+     right reading for a utilization gauge. *)
+  type pool_stats = {
+    workers : int;
+    busy : int;
+    queued_jobs : int;  (* jobs not yet handed to any worker *)
+    queued_batches : int;
+  }
+
+  let stats t : pool_stats =
+    Mutex.lock t.m;
+    let queued_jobs =
+      Queue.fold (fun acc b -> acc + (Array.length b.jobs - b.next)) 0 t.queue
+    in
+    let workers = List.length t.workers in
+    let s =
+      {
+        workers;
+        busy = workers - t.idle;
+        queued_jobs;
+        queued_batches = Queue.length t.queue;
+      }
+    in
+    Mutex.unlock t.m;
+    s
+
   let shutdown t =
     Mutex.lock t.m;
     t.stop <- true;
@@ -177,6 +209,8 @@ type config = {
   cache_dir : string;
   gc_max_bytes : int option;  (* with either bound set, gc runs *)
   gc_max_age_days : float option;  (* between requests *)
+  access_log : string option;
+      (* one etap-access/1 JSONL line per request, appended *)
   gate : (string -> unit) option;
       (* test hook: a flight winner calls this with its group key after
          registering in the promise table and before computing, so
@@ -191,6 +225,7 @@ let default_config =
     cache_dir = "_etap_cache";
     gc_max_bytes = None;
     gc_max_age_days = None;
+    access_log = None;
     gate = None;
   }
 
@@ -204,7 +239,8 @@ type t = {
   cfg : config;
   store : Core.Memo.Store.t;
   ex : Executor.t;
-  m : Mutex.t;  (* inflight table + stopping + domain-0 obs writes *)
+  m : Mutex.t;  (* inflight table + stopping + domain-0 obs writes
+                   + stats baseline + access-log channel *)
   flight_done : Condition.t;
   inflight : (string, flight) Hashtbl.t;
   mutable stopping : bool;
@@ -215,6 +251,13 @@ type t = {
     ( string * int * string * int,
       Core.Campaign.prepared * Analysis.Section.t )
     Hashtbl.t;  (* (name, seed, mode, policy tag) *)
+  sink : Obs.sink;  (* the sink the [stats] verb snapshots *)
+  owns_sink : bool;  (* we installed it; restore [disabled] on shutdown *)
+  started_us : float;
+  mutable last_stats : Obs.view * float;
+      (* previous [stats] snapshot and its timestamp — the left edge of
+         the next interval section *)
+  access : out_channel option;  (* etap-access/1 JSONL, written under [m] *)
 }
 
 let create ?(config = default_config) () : t =
@@ -227,6 +270,20 @@ let create ?(config = default_config) () : t =
     | Some j -> max 1 j
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
+  (* The [stats] verb needs telemetry regardless of --trace/--metrics,
+     so a daemon without an ambient sink installs its own — without
+     span recording, whose per-event log would grow unboundedly over a
+     daemon lifetime. When the operator did enable tracing, the daemon
+     snapshots that sink instead of forking the telemetry stream. *)
+  let sink, owns_sink =
+    if Obs.enabled () then (Obs.installed (), false)
+    else begin
+      let s = Obs.make ~record_spans:false () in
+      Obs.install s;
+      (s, true)
+    end
+  in
+  let started_us = Obs.now_us () in
   {
     cfg = config;
     store = Core.Memo.Store.open_ config.cache_dir;
@@ -239,16 +296,45 @@ let create ?(config = default_config) () : t =
     rl = Mutex.create ();
     apps = Hashtbl.create 8;
     prepped = Hashtbl.create 16;
+    sink;
+    owns_sink;
+    started_us;
+    last_stats = (Obs.snapshot sink, started_us);
+    access =
+      Option.map
+        (fun p ->
+          open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 p)
+        config.access_log;
   }
 
-let shutdown t = Executor.shutdown t.ex
+let shutdown t =
+  Executor.shutdown t.ex;
+  (match t.access with
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  | None -> ());
+  if t.owns_sink && Obs.installed () == t.sink then Obs.install Obs.disabled
 
 (* ---------------------------- warm registry ------------------------ *)
+
+(* Per-request accounting for the access log. Warm-registry outcomes
+   are recorded here as well as in the global counters — under the
+   registry lock, so the mutation is serialized even when a matrix
+   request's cells resolve apps from several worker domains — which is
+   what lets one request's access-log line sum exactly the work it did
+   while other requests run concurrently (global counter deltas cannot
+   be attributed per request). *)
+type access_acc = {
+  mutable acc_warm_hits : int;
+  mutable acc_warm_misses : int;
+}
+
+let fresh_acc () = { acc_warm_hits = 0; acc_warm_misses = 0 }
 
 (* Called from worker domains only (each its own obs buffer). The
    registry lock is held across cold builds: concurrent first requests
    for the same app serialize instead of building twice. *)
-let registry_load t (app : Apps.App.t) ~seed : Experiment.loaded =
+let registry_load t ~(acc : access_acc) (app : Apps.App.t) ~seed :
+    Experiment.loaded =
   let key = (app.Apps.App.name, seed) in
   Mutex.lock t.rl;
   Fun.protect
@@ -257,9 +343,11 @@ let registry_load t (app : Apps.App.t) ~seed : Experiment.loaded =
       match Hashtbl.find_opt t.apps key with
       | Some l ->
         Obs.count "serve.warm_hit" 1;
+        acc.acc_warm_hits <- acc.acc_warm_hits + 1;
         l
       | None ->
         Obs.count "serve.warm_miss" 1;
+        acc.acc_warm_misses <- acc.acc_warm_misses + 1;
         let sp = Obs.span_begin () in
         let l =
           Experiment.load ~seed ~engine:t.cfg.engine
@@ -384,11 +472,12 @@ let unknown_app name =
   Printf.sprintf "unknown application %S (known: %s)" name
     (String.concat ", " Apps.Registry.names)
 
-let run_inject t (i : Proto.inject_req) : Report.t option * string option =
+let run_inject t ~acc (i : Proto.inject_req) :
+    Report.t option * string option =
   match Apps.Registry.find i.app with
   | None -> (None, Some (unknown_app i.app))
   | Some app ->
-    let l = registry_load t app ~seed:i.seed in
+    let l = registry_load t ~acc app ~seed:i.seed in
     let mode =
       if i.literal then Experiment.Literal else Experiment.Full
     in
@@ -426,7 +515,7 @@ let dedup xs =
   List.rev
     (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
 
-let run_matrix t (s : Matrix.spec) : Report.t option * string option =
+let run_matrix t ~acc (s : Matrix.spec) : Report.t option * string option =
   let t_run = Unix.gettimeofday () in
   let sp = Obs.span_begin () in
   let cells = Matrix.cells_of_spec s in
@@ -438,7 +527,7 @@ let run_matrix t (s : Matrix.spec) : Report.t option * string option =
     List.filter_map
       (fun n ->
         Option.map
-          (fun app -> (n, registry_load t app ~seed:s.Matrix.seed))
+          (fun app -> (n, registry_load t ~acc app ~seed:s.Matrix.seed))
           (Apps.Registry.find n))
       (dedup s.Matrix.apps)
   in
@@ -497,19 +586,19 @@ let run_matrix t (s : Matrix.spec) : Report.t option * string option =
      still ships with it: never a silent partial result. *)
   (Some rep, Matrix.failures_message r)
 
-let dispatch t (req : Proto.request) : Report.t option * string option =
+let dispatch t ~acc (req : Proto.request) : Report.t option * string option =
   let sp = Obs.span_begin () in
   let kind =
     match req with
     | Proto.Inject _ -> "inject"
     | Proto.Matrix _ -> "matrix"
-    | Proto.Ping | Proto.Shutdown -> "control"
+    | Proto.Ping | Proto.Stats | Proto.Shutdown -> "control"
   in
   let (_, err) as r =
     match req with
-    | Proto.Inject i -> run_inject t i
-    | Proto.Matrix s -> run_matrix t s
-    | Proto.Ping | Proto.Shutdown -> (None, None)
+    | Proto.Inject i -> run_inject t ~acc i
+    | Proto.Matrix s -> run_matrix t ~acc s
+    | Proto.Ping | Proto.Stats | Proto.Shutdown -> (None, None)
   in
   Obs.span_end ~name:"serve.request" ~cat:"serve"
     ~args:
@@ -530,9 +619,11 @@ let on_worker t (f : unit -> 'a) : ('a, exn) result =
 (* One execution per in-flight group key: the first request in wins
    and computes; any request with the same key arriving before the
    outcome lands attaches as a waiter and receives the same payload.
+   The returned flag says which side this call was — [true] for a
+   waiter, whose access-log line must not claim the winner's work.
    Runs on handler threads — domain-0 obs writes stay under [t.m]. *)
 let coalesced_run t ~key (compute : unit -> Report.t option * string option)
-    : Report.t option * string option =
+    : (Report.t option * string option) * bool =
   Mutex.lock t.m;
   match Hashtbl.find_opt t.inflight key with
   | Some f ->
@@ -544,7 +635,7 @@ let coalesced_run t ~key (compute : unit -> Report.t option * string option)
     f.waiters <- f.waiters - 1;
     let r = Option.get f.outcome in
     Mutex.unlock t.m;
-    r
+    (r, true)
   | None ->
     let f = { outcome = None; waiters = 0 } in
     Hashtbl.replace t.inflight key f;
@@ -560,7 +651,7 @@ let coalesced_run t ~key (compute : unit -> Report.t option * string option)
     Hashtbl.remove t.inflight key;
     Condition.broadcast t.flight_done;
     Mutex.unlock t.m;
-    r
+    (r, false)
 
 (* Waiters currently attached to [key]'s flight — 0 when none is in
    flight. Lets a [gate] hook hold a winner until an attacher joins. *)
@@ -595,6 +686,188 @@ let maybe_gc t =
     Mutex.unlock t.m
   end
 
+(* --------------------------- introspection ------------------------- *)
+
+let counter (v : Obs.view) name =
+  Option.value ~default:0 (List.assoc_opt name v.Obs.counters)
+
+let counters_json (v : Obs.view) =
+  J.Obj (List.map (fun (k, c) -> (k, J.Int c)) v.Obs.counters)
+
+(* Per-request-kind latency digests, from the "serve.request_us.<kind>"
+   histograms [serve_connection] observes end-to-end (receipt to
+   response-ready) on every request. *)
+let latency_json (v : Obs.view) =
+  let prefix = "serve.request_us." in
+  let plen = String.length prefix in
+  J.Obj
+    (List.filter_map
+       (fun (name, h) ->
+         if
+           String.length name > plen
+           && String.equal (String.sub name 0 plen) prefix
+         then begin
+           let q p =
+             match Obs.Hist.quantile h p with
+             | None -> J.Null
+             | Some x -> J.Float x
+           in
+           Some
+             ( String.sub name plen (String.length name - plen),
+               J.Obj
+                 [
+                   ("count", J.Int (Obs.Hist.count h));
+                   ("p50_us", q 0.50);
+                   ("p90_us", q 0.90);
+                   ("p99_us", q 0.99);
+                 ] )
+         end
+         else None)
+       v.Obs.hists)
+
+(* The etap-stats/1 document. Registry sizes and the store walk come
+   first (each under its own lock — never while holding [t.m], to keep
+   the lock order trivial); the snapshot, the interval baseline swap
+   and the failure count happen atomically under the state mutex, so
+   two concurrent [stats] requests see disjoint, gapless windows.
+   Counter deltas are [Obs.diff]s of mergeable families: exact and
+   jobs-invariant (DESIGN.md §18). *)
+let stats_json t : J.t =
+  Mutex.lock t.rl;
+  let apps = Hashtbl.length t.apps in
+  let prepped = Hashtbl.length t.prepped in
+  Mutex.unlock t.rl;
+  let entries = Core.Memo.Store.scan t.store in
+  let store_entries = List.length entries in
+  let store_bytes = List.fold_left (fun a (_, sz, _) -> a + sz) 0 entries in
+  let ex = Executor.stats t.ex in
+  Mutex.lock t.m;
+  let now = Obs.now_us () in
+  let snap = Obs.snapshot t.sink in
+  let prev, prev_at = t.last_stats in
+  t.last_stats <- (snap, now);
+  let failures = t.failures in
+  Mutex.unlock t.m;
+  let delta = Obs.diff snap prev in
+  let c = counter snap in
+  let section v =
+    J.Obj [ ("counters", counters_json v); ("latency", latency_json v) ]
+  in
+  J.Obj
+    [
+      ("schema", J.Str Proto.stats_schema);
+      ("uptime_us", J.Int (int_of_float (now -. t.started_us)));
+      ("window_us", J.Int (int_of_float (now -. prev_at)));
+      ( "requests",
+        J.Obj
+          [
+            ("served", J.Int (c "serve.requests"));
+            ("failed", J.Int failures);
+            ("coalesced", J.Int (c "serve.coalesced"));
+            ("malformed", J.Int (c "serve.malformed"));
+          ] );
+      ( "warm",
+        J.Obj
+          [
+            ("hits", J.Int (c "serve.warm_hit"));
+            ("misses", J.Int (c "serve.warm_miss"));
+            ("apps", J.Int apps);
+            ("prepared", J.Int prepped);
+          ] );
+      ( "store",
+        J.Obj
+          [
+            ("entries", J.Int store_entries);
+            ("bytes", J.Int store_bytes);
+            ("gc_runs", J.Int (c "serve.gc_runs"));
+            ("gc_evicted", J.Int (c "serve.gc_evicted"));
+          ] );
+      ( "executor",
+        J.Obj
+          [
+            ("workers", J.Int ex.Executor.workers);
+            ("busy", J.Int ex.Executor.busy);
+            ("queued_jobs", J.Int ex.Executor.queued_jobs);
+            ("queued_batches", J.Int ex.Executor.queued_batches);
+          ] );
+      ("totals", section snap);
+      ("interval", section delta);
+    ]
+
+(* The ping health object: liveness probes double as cheap health
+   checks without paying for a store walk or an interval swap. *)
+let info_json t : J.t =
+  Mutex.lock t.m;
+  let now = Obs.now_us () in
+  let snap = Obs.snapshot t.sink in
+  Mutex.unlock t.m;
+  J.Obj
+    [
+      ("uptime_us", J.Int (int_of_float (now -. t.started_us)));
+      ("requests_served", J.Int (counter snap "serve.requests"));
+      ( "schemas",
+        J.Obj
+          [
+            ("serve", J.Str Proto.schema);
+            ("report", J.Str Report.schema_version);
+            ("stats", J.Str Proto.stats_schema);
+            ("access", J.Str Proto.access_schema);
+            ("cache", J.Str Core.Memo.Store.schema);
+          ] );
+    ]
+
+(* One etap-access/1 JSONL line per request. Work accounting comes
+   from the request's own report meta (cache_hits/cells_hit, trial
+   counts) plus the warm accumulator — never from global counters, so
+   concurrent requests cannot bleed into each other's lines. Waiters
+   of a coalesced flight pass [report:None]: the pair logs exactly one
+   execution, on the winner's line. Written and flushed under [t.m] so
+   lines from concurrent handler threads never interleave. *)
+let log_access t ~rid ~kind ~key ~status ~wall_us ~coalesced
+    ~(acc : access_acc) ~(report : Report.t option) =
+  match t.access with
+  | None -> ()
+  | Some oc ->
+    let meta_int k =
+      match report with
+      | None -> 0
+      | Some r -> (
+        match List.assoc_opt k r.Report.meta with
+        | Some (J.Int i) -> i
+        | _ -> 0)
+    in
+    (* Inject meta carries cache_* keys, matrix meta cells_* and bare
+       trial totals; each key set is absent on the other path, so the
+       sums read whichever one the report carries. *)
+    let line =
+      J.Obj
+        [
+          ("schema", J.Str Proto.access_schema);
+          ("ts_us", J.Int (int_of_float (Obs.now_us ())));
+          ("id", rid);
+          ("kind", J.Str kind);
+          ("key", match key with Some k -> J.Str k | None -> J.Null);
+          ("status", J.Str status);
+          ("wall_us", J.Int wall_us);
+          ("coalesced", J.Bool coalesced);
+          ("warm_hits", J.Int acc.acc_warm_hits);
+          ("warm_misses", J.Int acc.acc_warm_misses);
+          ("cache_hits", J.Int (meta_int "cache_hits" + meta_int "cells_hit"));
+          ( "cache_misses",
+            J.Int (meta_int "cache_misses" + meta_int "cells_miss") );
+          ( "trials_run",
+            J.Int (meta_int "cache_trials_run" + meta_int "trials_run") );
+          ( "trials_reused",
+            J.Int (meta_int "cache_trials_reused" + meta_int "trials_reused")
+          );
+        ]
+    in
+    Mutex.lock t.m;
+    output_string oc (J.to_compact_string line);
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock t.m
+
 (* ---------------------------- transports --------------------------- *)
 
 (* One connection: read request lines until EOF / shutdown, answer
@@ -616,35 +889,76 @@ let serve_connection t ~ic ~oc : [ `Closed | `Shutdown ] =
     if fail then t.failures <- t.failures + 1;
     Mutex.unlock t.m
   in
+  (* End-to-end request latency (receipt to response-ready), observed
+     into the per-kind histogram the [stats] verb digests. Under [t.m]:
+     handler threads share domain 0's obs buffer. *)
+  let observe_latency kind wall_us =
+    Mutex.lock t.m;
+    Obs.observe ("serve.request_us." ^ kind) wall_us;
+    Mutex.unlock t.m
+  in
   let rec loop () =
     match input_line ic with
     | exception (End_of_file | Sys_error _) -> `Closed
     | line when String.trim line = "" -> loop ()
     | line -> (
+      let t0 = Obs.now_us () in
+      let wall () = int_of_float (Obs.now_us () -. t0) in
       count "serve.requests";
       let rid, parsed = Proto.request_of_line line in
+      let finish ~kind ~key ~status ~coalesced ~acc ~logged_report resp cont =
+        let w = wall () in
+        observe_latency kind (float_of_int w);
+        log_access t ~rid ~kind ~key ~status ~wall_us:w ~coalesced ~acc
+          ~report:logged_report;
+        if send resp then cont () else `Closed
+      in
+      let simple ~kind ?error ?(extra = []) cont =
+        finish ~kind ~key:None
+          ~status:(if error = None then "ok" else "failed")
+          ~coalesced:false ~acc:(fresh_acc ()) ~logged_report:None
+          { Proto.rid; report = None; error; extra }
+          cont
+      in
       match parsed with
       | Error msg ->
         count ~fail:true "serve.malformed";
-        if send { Proto.rid; report = None; error = Some msg } then loop ()
-        else `Closed
+        simple ~kind:"malformed" ~error:msg loop
       | Ok Proto.Ping ->
-        if send { Proto.rid; report = None; error = None } then loop ()
-        else `Closed
+        simple ~kind:"ping" ~extra:[ ("info", info_json t) ] loop
+      | Ok Proto.Stats ->
+        (* Answered inline on the handler thread — introspection must
+           not queue behind campaign batches on a busy executor. *)
+        simple ~kind:"stats" ~extra:[ ("stats", stats_json t) ] loop
       | Ok Proto.Shutdown ->
-        ignore (send { Proto.rid; report = None; error = None });
+        (* Stops the daemon even when the response write fails — a
+           vanished client must not cancel an acknowledged shutdown. *)
+        let w = wall () in
+        observe_latency "shutdown" (float_of_int w);
+        log_access t ~rid ~kind:"shutdown" ~key:None ~status:"ok" ~wall_us:w
+          ~coalesced:false ~acc:(fresh_acc ()) ~report:None;
+        ignore (send { Proto.rid; report = None; error = None; extra = [] });
         `Shutdown
       | Ok req ->
         let key = Proto.group_key req in
-        let report, error =
+        let kind =
+          match req with Proto.Matrix _ -> "matrix" | _ -> "inject"
+        in
+        let acc = fresh_acc () in
+        let (report, error), coalesced =
           coalesced_run t ~key (fun () ->
-              match on_worker t (fun () -> dispatch t req) with
+              match on_worker t (fun () -> dispatch t ~acc req) with
               | Ok r -> r
               | Error e -> (None, Some (Printexc.to_string e)))
         in
         maybe_gc t;
         if error <> None then count ~fail:true "serve.failed";
-        if send { Proto.rid; report; error } then loop () else `Closed)
+        finish ~kind ~key:(Some key)
+          ~status:(if error = None then "ok" else "failed")
+          ~coalesced ~acc
+          ~logged_report:(if coalesced then None else report)
+          { Proto.rid; report; error; extra = [] }
+          loop)
   in
   loop ()
 

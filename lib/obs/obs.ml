@@ -71,6 +71,37 @@ module Hist = struct
   let count h = h.n
   let buckets h = IntMap.bindings h.bkts
 
+  (* [diff newer older] subtracts bucket-wise. Buckets only ever grow on
+     a live sink, so on snapshots taken from the same sink the delta is
+     exact; counts are clamped at zero (and empty buckets dropped) so a
+     racy read can never produce a negative histogram. Like [merge],
+     this works bucket-by-bucket, which is what makes interval deltas
+     independent of the domain fan-out. *)
+  let diff a b =
+    if b.n = 0 then a
+    else begin
+      let bkts =
+        IntMap.merge
+          (fun _ x y ->
+            match (x, y) with
+            | Some x, Some y -> if x - y > 0 then Some (x - y) else None
+            | Some x, None -> Some x
+            | None, _ -> None)
+          a.bkts b.bkts
+      in
+      { n = IntMap.fold (fun _ c acc -> acc + c) bkts 0; bkts }
+    end
+
+  (* Upper bound on the sum of samples, reconstructed from bucket
+     representatives (the histogram does not store the exact sum).
+     Within one bucket the representative is at most ~9% above any
+     member, so the approximation error is bounded by the bucket
+     ratio. Used by the OpenMetrics [_sum] sample. *)
+  let sum_approx h =
+    IntMap.fold
+      (fun b c acc -> acc +. (float_of_int c *. bucket_value b))
+      h.bkts 0.0
+
   let quantile h q =
     if h.n = 0 then None
     else begin
@@ -117,12 +148,24 @@ type buf = {
 type sink = {
   id : int;  (* 0 iff disabled *)
   mu : Mutex.t;
+  record_spans : bool;
+      (* [false] for always-on sinks (the serve daemon): counters,
+         histograms and site tallies are bounded-size aggregates, but
+         spans are a per-event list that would grow without bound over
+         a daemon's lifetime. *)
   mutable bufs : buf list;
 }
 
-let disabled = { id = 0; mu = Mutex.create (); bufs = [] }
+let disabled = { id = 0; mu = Mutex.create (); record_spans = false; bufs = [] }
 let next_id = Atomic.make 1
-let make () = { id = Atomic.fetch_and_add next_id 1; mu = Mutex.create (); bufs = [] }
+
+let make ?(record_spans = true) () =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    mu = Mutex.create ();
+    record_spans;
+    bufs = [];
+  }
 
 let ambient : sink Atomic.t = Atomic.make disabled
 let install s = Atomic.set ambient s
@@ -198,13 +241,25 @@ let site ~func ~pc cls =
     cell.(i) <- cell.(i) + 1
   end
 
-let now_us () = Unix.gettimeofday () *. 1e6
+(* Span clock: CLOCK_MONOTONIC (bechamel's stubs — already in the
+   dependency closure), rebased once at module init onto the wall
+   clock. Monotonicity is what matters operationally — daemon uptime
+   and span durations must survive wall-clock steps (NTP, suspend) —
+   while the epoch rebase keeps the stamps at the same epoch-µs
+   magnitudes as the previous [Unix.gettimeofday] source, so trace
+   export (which rebases to the earliest span) is byte-compatible. *)
+let mono_ns0 = Monotonic_clock.now ()
+let wall_us0 = Unix.gettimeofday () *. 1e6
+
+let now_us () =
+  wall_us0 +. (Int64.to_float (Int64.sub (Monotonic_clock.now ()) mono_ns0) /. 1e3)
+
 let span_begin () = if enabled () then now_us () else 0.0
 let elapsed_us t0 = now_us () -. t0
 
 let span_end ~name ?(cat = "etap") ?(args = []) t0 =
   let s = Atomic.get ambient in
-  if s.id <> 0 && t0 > 0.0 then begin
+  if s.id <> 0 && s.record_spans && t0 > 0.0 then begin
     let b = buf_for s in
     b.b_spans <-
       {
@@ -279,6 +334,105 @@ let view (s : sink) : view =
             | c -> c)
           | c -> c)
         !spans;
+  }
+
+(* A view is already an immutable value — [view] copies every counter,
+   rebuilds every histogram and duplicates every site array — so a
+   point-in-time snapshot of a live sink is just a view taken without
+   waiting for the writers to quiesce. Reads of buffers that other
+   domains are still mutating are memory-safe under OCaml 5 (each cell
+   read yields some previously written value); a snapshot may lag the
+   writers by in-flight increments, but successive snapshots of one
+   sink are monotone per counter and per bucket once the intervening
+   work has a happens-before edge to the reader (the serve daemon
+   snapshots under its state lock, after worker batches have landed —
+   there the deltas are exact). *)
+let snapshot = view
+
+let span_compare a b =
+  match Float.compare a.sp_ts_us b.sp_ts_us with
+  | 0 -> (
+    match Int.compare a.sp_tid b.sp_tid with
+    | 0 -> String.compare a.sp_name b.sp_name
+    | c -> c)
+  | c -> c
+
+(* Sorted-assoc merge: both inputs ascend by key, the output does too.
+   [combine] is only called on keys present in both. *)
+let rec merge_assoc cmp combine a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+    let c = cmp ka kb in
+    if c = 0 then (ka, combine va vb) :: merge_assoc cmp combine ta tb
+    else if c < 0 then (ka, va) :: merge_assoc cmp combine ta b
+    else (kb, vb) :: merge_assoc cmp combine a tb
+
+(* Merge two views with the same commutative, associative operations
+   [view] uses across per-domain buffers — so merging views of two
+   sinks is indistinguishable from one sink having collected both
+   streams. *)
+let merge (a : view) (b : view) : view =
+  {
+    counters = merge_assoc String.compare ( + ) a.counters b.counters;
+    hists = merge_assoc String.compare Hist.merge a.hists b.hists;
+    sites =
+      merge_assoc compare
+        (fun x y -> Array.init 3 (fun i -> x.(i) + y.(i)))
+        a.sites b.sites;
+    spans = List.merge span_compare a.spans b.spans;
+  }
+
+(* [diff newer older] is the interval between two snapshots of one
+   sink: counters and site tallies subtract, histograms diff
+   bucket-wise ([Hist.diff]). Because every family is mergeable
+   bucket-by-bucket/key-by-key, diff distributes over merge — the
+   delta of merged streams equals the merge of per-stream deltas — so
+   interval statistics are exact and jobs-invariant, like the totals.
+   Zero entries are dropped (the canonical form [merge] also
+   produces), and keys present only in [older] vanish. Spans are the
+   multiset difference (an older snapshot's spans are a sub-multiset
+   of a newer one's). *)
+let diff (newer : view) (older : view) : view =
+  let rec diff_assoc cmp sub keep a b =
+    match (a, b) with
+    | rest, [] -> List.filter (fun (_, v) -> keep v) rest
+    | [], _ -> []
+    | (ka, va) :: ta, (kb, vb) :: tb ->
+      let c = cmp ka kb in
+      if c = 0 then begin
+        let v = sub va vb in
+        if keep v then (ka, v) :: diff_assoc cmp sub keep ta tb
+        else diff_assoc cmp sub keep ta tb
+      end
+      else if c < 0 then
+        if keep va then (ka, va) :: diff_assoc cmp sub keep ta b
+        else diff_assoc cmp sub keep ta b
+      else diff_assoc cmp sub keep a tb
+  in
+  let rec diff_spans n o =
+    match (n, o) with
+    | n, [] -> n
+    | [], _ -> []
+    | x :: tn, y :: to_ ->
+      if x = y then diff_spans tn to_
+      else if span_compare x y <= 0 then x :: diff_spans tn o
+      else diff_spans n to_
+  in
+  {
+    counters =
+      diff_assoc String.compare ( - ) (fun v -> v <> 0) newer.counters
+        older.counters;
+    hists =
+      diff_assoc String.compare Hist.diff
+        (fun h -> Hist.count h > 0)
+        newer.hists older.hists;
+    sites =
+      diff_assoc compare
+        (fun x y -> Array.init 3 (fun i -> x.(i) - y.(i)))
+        (fun a -> Array.exists (fun v -> v <> 0) a)
+        newer.sites older.sites;
+    spans = diff_spans newer.spans older.spans;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -418,3 +572,104 @@ let write_metrics ~path ~command ~meta v =
           Out_channel.output_string oc line;
           Out_channel.output_char oc '\n')
         (metrics_lines ~command ~meta v))
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics / Prometheus text exposition.                           *)
+
+(* Metric names: the etap namespace prefix plus the counter/histogram
+   name with every character outside [a-zA-Z0-9_:] replaced by '_'
+   (etap names use '.' as the separator: "serve.warm_hit" becomes
+   "etap_serve_warm_hit"). *)
+let om_name name =
+  let b = Bytes.of_string ("etap_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        c = '_' || c = ':'
+        || (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let om_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let om_float x = Printf.sprintf "%.9g" x
+
+(* The merged view in OpenMetrics text exposition format: every
+   counter as a counter family ([_total] sample), every histogram as a
+   histogram family (cumulative [_bucket{le=...}] samples over the
+   occupied log-bucket upper representatives, then [_sum]/[_count] —
+   [_sum] is [Hist.sum_approx] since exact sums are not stored), and
+   the site tally as one labelled counter family
+   [etap_fault_site_total{func,pc,class}]. Terminated by the mandatory
+   [# EOF] line. *)
+let openmetrics_lines (v : view) : string list =
+  let counter (name, value) =
+    let n = om_name name in
+    [
+      Printf.sprintf "# TYPE %s counter" n;
+      Printf.sprintf "%s_total %d" n value;
+    ]
+  in
+  let hist (name, h) =
+    let n = om_name name in
+    let cum = ref 0 in
+    let buckets =
+      List.map
+        (fun (b, c) ->
+          cum := !cum + c;
+          Printf.sprintf "%s_bucket{le=\"%s\"} %d" n
+            (om_float (Hist.bucket_value b))
+            !cum)
+        (Hist.buckets h)
+    in
+    (Printf.sprintf "# TYPE %s histogram" n :: buckets)
+    @ [
+        Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n (Hist.count h);
+        Printf.sprintf "%s_sum %s" n (om_float (Hist.sum_approx h));
+        Printf.sprintf "%s_count %d" n (Hist.count h);
+      ]
+  in
+  let sites =
+    if v.sites = [] then []
+    else
+      "# TYPE etap_fault_site counter"
+      :: List.concat_map
+           (fun ((func, pc), c) ->
+             List.map
+               (fun cls ->
+                 Printf.sprintf
+                   "etap_fault_site_total{func=\"%s\",pc=\"%d\",class=\"%s\"} %d"
+                   (om_label_value func) pc cls
+                   c.(match cls with
+                      | "crash" -> 0
+                      | "infinite" -> 1
+                      | _ -> 2))
+               [ "crash"; "infinite"; "completed" ])
+           v.sites
+  in
+  List.concat_map counter v.counters
+  @ List.concat_map hist v.hists
+  @ sites
+  @ [ "# EOF" ]
+
+let write_openmetrics ~path (v : view) =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun line ->
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n')
+        (openmetrics_lines v))

@@ -46,6 +46,19 @@ module Hist : sig
   val bucket_value : int -> float
   (** Representative value of a bucket: [2^(i/8)], or [0.] for the
       underflow bucket. Always finite. *)
+
+  val diff : t -> t -> t
+  (** [diff newer older] subtracts bucket-wise, clamping each bucket at
+      zero and dropping emptied buckets. On two snapshots of one
+      growing histogram the delta is exact, and — because it works
+      bucket-by-bucket, like {!merge} — diff distributes over merge:
+      interval deltas are jobs-invariant. *)
+
+  val sum_approx : t -> float
+  (** Approximate sum of the samples, reconstructed from bucket
+      representatives (within one bucket-width, ~9%, of the true sum
+      per sample). The histogram stores no exact sum; this feeds the
+      OpenMetrics [_sum] sample. *)
 end
 
 (** {1 Sinks} *)
@@ -56,8 +69,12 @@ val disabled : sink
 (** The inert sink: recording through it does nothing and allocates
     nothing. Installed by default. *)
 
-val make : unit -> sink
-(** A fresh collecting sink. *)
+val make : ?record_spans:bool -> unit -> sink
+(** A fresh collecting sink. [record_spans] (default [true]) controls
+    whether {!span_end} appends span events: counters, histograms and
+    site tallies are bounded-size aggregates, but spans grow per
+    event, so an always-on sink (the serve daemon's) passes [false]
+    to keep its footprint bounded over an unbounded lifetime. *)
 
 val install : sink -> unit
 (** Make [sink] the ambient sink for all subsequent recording, on
@@ -93,9 +110,13 @@ val site : func:string -> pc:int -> cls -> unit
     function [func], in a trial classified as [cls]. *)
 
 val now_us : unit -> float
-(** The clock spans are stamped with, in microseconds. (OCaml's stdlib
-    exposes no monotonic clock without C stubs, so this is
-    [Unix.gettimeofday]; spans are for tracing, not benchmarking.) *)
+(** The clock spans are stamped with, in microseconds: CLOCK_MONOTONIC
+    (via bechamel's stubs), rebased once at startup onto the wall
+    clock. Differences of [now_us] values are immune to wall-clock
+    steps — daemon uptime and span durations survive NTP adjustments —
+    while the epoch-µs magnitudes (and hence exported traces, which
+    rebase to the earliest span) match the previous [gettimeofday]
+    source byte-for-byte in shape. *)
 
 val span_begin : unit -> float
 (** Start timestamp for a span: {!now_us} when enabled, [0.] when
@@ -139,6 +160,30 @@ val view : sink -> view
     keeps collecting, and a later [view] includes everything again.
     Call after the domains writing to the sink have been joined. *)
 
+val snapshot : sink -> view
+(** A point-in-time view of a {e live} sink (the same merge as {!view},
+    which already copies every counter, histogram and site array — a
+    view is an immutable value). Unlike {!view}'s contract, writers
+    need not have quiesced: concurrent reads are memory-safe under
+    OCaml 5 and may lag in-flight increments, but once the intervening
+    work has a happens-before edge to the caller (e.g. the serve
+    daemon snapshots under its state lock after worker batches have
+    landed), successive snapshots bracket it exactly. *)
+
+val merge : view -> view -> view
+(** Merge two views with the same commutative, associative operations
+    {!view} applies across per-domain buffers: counters and site
+    tallies add, histograms {!Hist.merge}, spans interleave in
+    timestamp order. *)
+
+val diff : view -> view -> view
+(** [diff newer older] — the interval between two snapshots of one
+    sink. Counters and site tallies subtract (zero entries dropped),
+    histograms {!Hist.diff} bucket-wise, spans take the multiset
+    difference. Diff distributes over {!merge}, so interval deltas
+    inherit the determinism contract of the totals: exact and
+    jobs-invariant. Keys present only in [older] are dropped. *)
+
 val cls_index : cls -> int
 (** Index of a class in a {!view} site tally: 0 crash, 1 infinite,
     2 completed. *)
@@ -177,3 +222,16 @@ val write_metrics :
   meta:(string * Report.Json.t) list ->
   view ->
   unit
+
+val openmetrics_lines : view -> string list
+(** The view in OpenMetrics (Prometheus text exposition) format, one
+    line per list element: each counter as a counter family
+    ([etap_<name>_total], ['.'] separators mapped to ['_']), each
+    histogram as a histogram family — cumulative [_bucket{le="..."}]
+    samples over the occupied log-bucket representatives plus
+    [le="+Inf"], then [_sum] ({!Hist.sum_approx}; the exact sum is not
+    stored) and [_count] — and the fault-site tally as
+    [etap_fault_site_total{func,pc,class}]. The last line is the
+    mandatory [# EOF] terminator. *)
+
+val write_openmetrics : path:string -> view -> unit

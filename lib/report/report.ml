@@ -315,6 +315,15 @@ module Json = struct
 
   let to_int_opt = function Int i -> Some i | _ -> None
   let to_str_opt = function Str s -> Some s | _ -> None
+
+  (* Numbers parse as Int when integral, so numeric readers accept
+     both shapes. *)
+  let to_float_opt = function
+    | Float f -> Some f
+    | Int i -> Some (float_of_int i)
+    | _ -> None
+
+  let to_bool_opt = function Bool b -> Some b | _ -> None
 end
 
 (* ------------------------------------------------------------------ *)

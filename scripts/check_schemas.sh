@@ -13,12 +13,16 @@
 #   check_schemas.sh cache DIR      # every *.json entry under the store
 #   check_schemas.sh serve FILE     # etap-serve/1  (JSONL of daemon
 #                                   # responses; embedded reports are
-#                                   # validated as etap-report/1)
+#                                   # validated as etap-report/1 and
+#                                   # embedded stats docs as etap-stats/1)
+#   check_schemas.sh stats FILE     # etap-stats/1  (one stats document,
+#                                   # e.g. extracted from a response)
+#   check_schemas.sh access FILE    # etap-access/1 (JSONL access log)
 #
 # Uses python3's json module (present on CI runners); no jq dependency.
 set -euo pipefail
 
-usage="usage: check_schemas.sh report|matrix|trace|metrics|cache|serve FILE"
+usage="usage: check_schemas.sh report|matrix|trace|metrics|cache|serve|stats|access FILE"
 kind="${1:?$usage}"
 file="${2:?$usage}"
 
@@ -101,7 +105,31 @@ elif kind == "cache":
             indices.append(t["index"])
         expect(indices == sorted(indices), f"{fp}: trial indices not ascending")
     print(f"checked {len(files)} cache entr{'y' if len(files) == 1 else 'ies'}")
-elif kind in ("report", "matrix", "serve"):
+elif kind == "access":
+    # JSONL access log: one typed line per request the daemon served.
+    with open(path) as f:
+        lines = [json.loads(l) for l in f if l.strip()]
+    expect(lines, "empty access log")
+    for i, rec in enumerate(lines):
+        where = f"line {i + 1}: "
+        expect(rec.get("schema") == "etap-access/1",
+               f"{where}bad schema marker {rec.get('schema')!r}")
+        expect("id" in rec, f"{where}line without a request id")
+        expect(isinstance(rec.get("kind"), str) and rec["kind"],
+               f"{where}kind is not a string")
+        expect(rec.get("status") in ("ok", "failed"),
+               f"{where}status {rec.get('status')!r} is not typed")
+        expect(isinstance(rec.get("coalesced"), bool),
+               f"{where}coalesced is not a boolean")
+        for k in ("ts_us", "wall_us", "warm_hits", "warm_misses",
+                  "cache_hits", "cache_misses", "trials_run", "trials_reused"):
+            expect(isinstance(rec.get(k), int) and rec[k] >= 0,
+                   f"{where}{k} is not a non-negative int")
+        if rec["coalesced"]:
+            expect(rec["trials_run"] == 0,
+                   f"{where}coalesced waiter claims executed trials")
+    print(f"checked {len(lines)} access line(s)")
+elif kind in ("report", "matrix", "serve", "stats"):
     def check_report(doc, where=""):
         expect(doc.get("schema") == "etap-report/1",
                f"{where}bad schema marker {doc.get('schema')!r}")
@@ -124,9 +152,50 @@ elif kind in ("report", "matrix", "serve"):
                            f"{where}experiments row {row.get('name')!r}: "
                            "wall_s null-ness diverges from skipped")
 
+    def check_stats(doc, where=""):
+        expect(doc.get("schema") == "etap-stats/1",
+               f"{where}bad stats schema marker {doc.get('schema')!r}")
+        for k in ("uptime_us", "window_us"):
+            expect(isinstance(doc.get(k), int) and doc[k] >= 0,
+                   f"{where}stats {k} is not a non-negative int")
+        sections = {
+            "requests": ("served", "failed", "coalesced", "malformed"),
+            "warm": ("hits", "misses", "apps", "prepared"),
+            "store": ("entries", "bytes", "gc_runs", "gc_evicted"),
+            "executor": ("workers", "busy", "queued_jobs", "queued_batches"),
+        }
+        for sec, keys in sections.items():
+            obj = doc.get(sec)
+            expect(isinstance(obj, dict), f"{where}stats missing {sec}")
+            for k in keys:
+                expect(isinstance(obj.get(k), int) and obj[k] >= 0,
+                       f"{where}stats {sec}.{k} is not a non-negative int")
+        for sec in ("totals", "interval"):
+            obj = doc.get(sec)
+            expect(isinstance(obj, dict), f"{where}stats missing {sec}")
+            counters = obj.get("counters")
+            expect(isinstance(counters, dict)
+                   and all(isinstance(v, int) for v in counters.values()),
+                   f"{where}stats {sec}.counters is not a str->int object")
+            latency = obj.get("latency")
+            expect(isinstance(latency, dict), f"{where}stats {sec}.latency missing")
+            for kind_name, dig in latency.items():
+                expect(isinstance(dig.get("count"), int) and dig["count"] >= 0,
+                       f"{where}stats {sec}.latency.{kind_name}.count bad")
+                for q in ("p50_us", "p90_us", "p99_us"):
+                    v = dig.get(q)
+                    expect(v is None or isinstance(v, (int, float)),
+                           f"{where}stats {sec}.latency.{kind_name}.{q} bad")
+
+    if kind == "stats":
+        check_stats(json.load(open(path)))
+        print(f"{path}: {kind} schema OK")
+        sys.exit(0)
+
     if kind == "serve":
         # JSONL of daemon responses: every line typed, every embedded
-        # report a full etap-report/1 document.
+        # report a full etap-report/1 document, every embedded stats
+        # document a full etap-stats/1 document.
         with open(path) as f:
             lines = [json.loads(l) for l in f if l.strip()]
         expect(lines, "empty serve response stream")
@@ -143,6 +212,8 @@ elif kind in ("report", "matrix", "serve"):
                        f"{where}failed response without an error string")
             if "report" in rec:
                 check_report(rec["report"], where)
+            if "stats" in rec:
+                check_stats(rec["stats"], where)
         print(f"checked {len(lines)} serve response(s)")
         print(f"{path}: {kind} schema OK")
         sys.exit(0)

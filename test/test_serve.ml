@@ -168,14 +168,16 @@ let test_proto_responses () =
   let ok =
     reply_exn
       (Harness.Proto.response_line
-         { Harness.Proto.rid = Report.Json.Int 4; report = Some rep; error = None })
+         { Harness.Proto.rid = Report.Json.Int 4; report = Some rep;
+           error = None; extra = [] })
   in
   Alcotest.(check bool) "ok status" true ok.Harness.Proto.ok;
   Alcotest.(check bool) "report embedded" true (ok.Harness.Proto.report <> None);
   let failed =
     reply_exn
       (Harness.Proto.response_line
-         { Harness.Proto.rid = Report.Json.Null; report = None; error = Some "boom" })
+         { Harness.Proto.rid = Report.Json.Null; report = None;
+           error = Some "boom"; extra = [] })
   in
   Alcotest.(check bool) "failed status" false failed.Harness.Proto.ok;
   Alcotest.(check (option string)) "error carried" (Some "boom")
